@@ -1,0 +1,67 @@
+// E1b (extension of E1) — more dots in the Figure 1 landscape: the
+// Θ(log* n) symmetry-breaking band, populated with five different
+// problems, next to the Θ(log n) band (deterministic sinkless
+// orientation). The log*-band columns must stay essentially flat across
+// three decades of n while the log-band column climbs.
+#include <cmath>
+#include <cstdio>
+
+#include "algo/color_reduce.hpp"
+#include "algo/dist_coloring.hpp"
+#include "algo/edge_color.hpp"
+#include "algo/linial.hpp"
+#include "algo/sinkless_det.hpp"
+#include "algo/weak_color.hpp"
+#include "graph/builders.hpp"
+#include "lcl/problems/coloring.hpp"
+#include "lcl/problems/edge_coloring.hpp"
+#include "lcl/problems/weak_coloring.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+using namespace padlock;
+
+int main() {
+  std::printf(
+      "E1b / Figure 1 — the Θ(log* n) symmetry-breaking band vs the\n"
+      "Θ(log n) band, on random cubic graphs\n\n");
+  Table t({"n", "log2 n", "(Δ+1)-color", "edge-color", "weak-2-color",
+           "dist-2-color", "ruling set", "sinkless det"});
+  for (int lg = 8; lg <= 14; lg += 2) {
+    const std::size_t n = std::size_t{1} << lg;
+    const Graph g = build::random_regular_simple(n, 3, 401 + lg);
+    const IdMap ids = shuffled_ids(g, lg);
+
+    const auto lin = linial_color(g, ids, n);
+    PADLOCK_REQUIRE(is_proper_coloring(g, lin.colors, g.max_degree() + 1));
+
+    const auto ec = edge_color_log_star(g, ids, n);
+    PADLOCK_REQUIRE(
+        is_proper_edge_coloring(g, ec.colors, 2 * g.max_degree() - 1));
+
+    const auto wc = weak_2color(g, ids, n);
+    PADLOCK_REQUIRE(is_weak_2coloring(g, wc.colors));
+
+    const auto d2 = distance_k_coloring(g, ids, n, 2);
+    PADLOCK_REQUIRE(is_distance_coloring(g, d2.colors, 2));
+
+    const auto rs = ruling_set_aglp(g, ids, n);
+    PADLOCK_REQUIRE(ruling_set_independent(g, rs.in_set, 2));
+
+    const Graph hg = build::high_girth_regular(n, 3, 2 * lg / 3, 403 + lg);
+    const auto so = sinkless_orientation_det(hg, shuffled_ids(hg, lg), n);
+
+    t.add_row({std::to_string(n), std::to_string(lg),
+               std::to_string(lin.total_rounds()), std::to_string(ec.rounds),
+               std::to_string(wc.rounds), std::to_string(d2.rounds),
+               std::to_string(rs.rounds), std::to_string(so.report.rounds)});
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape: the five middle columns are flat or creep by O(1)\n"
+      "(their log* / O(log n)-bit schedules barely notice n); the ruling-\n"
+      "set column grows linearly in log n (2 rounds per id bit), and the\n"
+      "sinkless-orientation column climbs with log n — the two bands of\n"
+      "Figure 1 between constant and logarithmic.\n");
+  return 0;
+}

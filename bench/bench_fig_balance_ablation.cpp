@@ -1,0 +1,57 @@
+// E5 — §3's balance claim: "a different balance between the size of G and
+// the depth of each gadget will not result in a harder instance".
+//
+// Fixed total size N: sweep the gadget height h and set the base size to
+// N / gadget_size(h), so the split exponent beta = log(base)/log(N) moves
+// from gadget-heavy (small beta) to base-heavy (large beta). Deterministic
+// rounds ≈ T_det(base) · stretch(gadget) + V: the product of two factors
+// whose logs sum to log N is maximized at the balanced split — up to
+// additive constants in T_det, which at bench sizes nudge the measured
+// peak slightly below beta = 1/2 (see EXPERIMENTS.md).
+#include <cmath>
+#include <cstdio>
+
+#include "core/hierarchy.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+using namespace padlock;
+
+int main() {
+  std::printf("E5 / §3 — padding balance ablation (target N ~ 1.3e5)\n");
+  const double target = 1.3e5;
+  Table t({"gadget h", "base n", "beta", "N", "stretch", "det rounds",
+           "rand rounds (avg)"});
+  for (const int h : {12, 10, 8, 7, 6, 5, 4}) {
+    const auto gsize = gadget_size(3, h);
+    const auto base = std::max<std::size_t>(
+        8, static_cast<std::size_t>(target / static_cast<double>(gsize)));
+    const auto hier = build_hierarchy_with_heights(2, base, {h}, 1234 + h);
+    const auto det = solve_hierarchy(hier, false, 5);
+    PADLOCK_REQUIRE(det.leaf_output_sinkless);
+    double rnd_mean = 0;
+    const int kSeeds = 3;
+    for (int sd = 0; sd < kSeeds; ++sd) {
+      const auto rnd = solve_hierarchy(hier, true, 5 + 11 * sd);
+      PADLOCK_REQUIRE(rnd.leaf_output_sinkless);
+      rnd_mean += rnd.rounds;
+    }
+    rnd_mean /= kSeeds;
+    const double n = static_cast<double>(hier.total_nodes());
+    const double beta =
+        std::log2(static_cast<double>(hier.base.num_nodes())) / std::log2(n);
+    t.add_row({std::to_string(h), std::to_string(hier.base.num_nodes()),
+               fmt(beta, 2), std::to_string(hier.total_nodes()),
+               std::to_string(det.stretch_per_level[0]),
+               std::to_string(det.rounds), fmt(rnd_mean, 1)});
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape: rounds fall off sharply toward base-heavy splits\n"
+      "(beta -> 1: stretch collapses) and level off toward gadget-heavy\n"
+      "ones; the hard region sits around the balanced split, where Lemma 5\n"
+      "places its lower-bound instances (f(x) = sqrt(x)). Additive O(1)\n"
+      "terms in the base solver shift the finite-size peak slightly left\n"
+      "of beta = 0.5.\n");
+  return 0;
+}

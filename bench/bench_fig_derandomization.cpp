@@ -1,0 +1,74 @@
+// E9 (extension of E6) — the derandomization transform behind the
+// Discussion's equation D(n) = O(R(n)·ND(n) + R(n)·log² n) (Ghaffari,
+// Harris, Kuhn FOCS 2018), made executable: solve MIS and (Δ+1)-coloring
+// deterministically by sweeping a network decomposition's color classes.
+//
+// Three decomposition sources are compared:
+//   * Linial–Saks randomized (O(log n), O(log n)) — the baseline R-side;
+//   * deterministic greedy ball carving — same quality, but its honest
+//     LOCAL round count is not competitive (sequential carving), which is
+//     exactly the gap the open ND(n) question asks about;
+//   * AGLP (2, O(log n)) ruling sets — the symmetry-breaking primitive
+//     under deterministic decompositions, shown for scale.
+#include <cmath>
+#include <cstdio>
+
+#include "algo/carving.hpp"
+#include "algo/derandomize.hpp"
+#include "algo/ruling_set.hpp"
+#include "graph/builders.hpp"
+#include "lcl/problems/coloring.hpp"
+#include "lcl/problems/mis.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+using namespace padlock;
+
+int main() {
+  std::printf(
+      "E9 — derandomization by network decomposition (Discussion, GHK'18)\n\n"
+      "(a) sweep cost on top of each decomposition, MIS on random cubic\n");
+  Table a({"n", "src", "colors", "radius", "decomp rounds", "sweep rounds",
+           "total", "valid"});
+  for (int lg = 8; lg <= 12; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    const Graph g = build::random_regular_simple(n, 3, 171 + lg);
+    const IdMap ids = shuffled_ids(g, lg);
+
+    const Decomposition rnd = network_decomposition(g, ids, 29 + lg);
+    const Decomposition det = carving_decomposition(g, ids);
+    for (const auto* src : {"rand-LS", "det-carve"}) {
+      const Decomposition& d = (src[0] == 'r') ? rnd : det;
+      const auto res = solve_by_decomposition(g, d, mis_completion(ids));
+      NodeMap<bool> in_set(g, false);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) in_set[v] = res.output[v] == 1;
+      PADLOCK_REQUIRE(is_mis(g, in_set));
+      a.add_row({std::to_string(n), src, std::to_string(d.num_colors),
+                 std::to_string(d.max_cluster_radius),
+                 std::to_string(d.rounds), std::to_string(res.sweep_rounds),
+                 std::to_string(res.rounds), "yes"});
+    }
+  }
+  a.print();
+
+  std::printf("\n(b) AGLP deterministic (2, O(log n)) ruling sets\n");
+  Table b({"n", "log2(n)", "rounds", "beta (measured)", "2*log2(n) bound"});
+  for (int lg = 8; lg <= 14; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    const Graph g = build::random_regular_simple(n, 3, 271 + lg);
+    const auto r = ruling_set_aglp(g, shuffled_ids(g, lg), n);
+    PADLOCK_REQUIRE(ruling_set_independent(g, r.in_set, 2));
+    b.add_row({std::to_string(n), std::to_string(lg),
+               std::to_string(r.rounds), std::to_string(r.domination_radius),
+               std::to_string(2 * (lg + 1))});
+  }
+  b.print();
+  std::printf(
+      "\nExpected shapes: sweep rounds ≈ colors × radius = O(log² n) over\n"
+      "the randomized decomposition (the R·log² n term of GHK); the\n"
+      "deterministic carving matches the *quality* but its decomposition\n"
+      "rounds blow up with n — the locality of deterministic decomposition\n"
+      "(ND(n)) is the bottleneck, exactly the paper's open question. AGLP\n"
+      "beta stays under 2 log2 n at O(log n) rounds.\n");
+  return 0;
+}

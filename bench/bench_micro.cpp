@@ -1,0 +1,148 @@
+// E7 — micro benchmarks (google-benchmark): throughput of the hot
+// simulator paths so regressions in the substrate are visible.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "algo/derandomize.hpp"
+#include "algo/sinkless_rand.hpp"
+#include "core/padded_graph.hpp"
+#include "gadget/path_psi.hpp"
+#include "gadget/verifier.hpp"
+#include "graph/builders.hpp"
+#include "graph/line_graph.hpp"
+#include "graph/power_graph.hpp"
+#include "io/serialize.hpp"
+#include "lcl/checker.hpp"
+#include "lcl/problems/sinkless_orientation.hpp"
+
+namespace padlock {
+namespace {
+
+void BM_BuildRandomRegular(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Graph g = build::random_regular(n, 3, seed++);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BuildRandomRegular)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_NeLclChecker(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Graph g = build::random_regular(n, 3, 5);
+  const auto ids = sequential_ids(g);
+  const auto res = sinkless_orientation_rand(g, ids, n, 7);
+  const auto out = orientation_to_labeling(g, res.tails);
+  const NeLabeling input(g);
+  const SinklessOrientation lcl;
+  for (auto _ : state) {
+    auto chk = check_ne_lcl(g, lcl, input, out);
+    benchmark::DoNotOptimize(chk.ok);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NeLclChecker)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_SinklessRand(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Graph g = build::random_regular_simple(n, 3, 3);
+  const auto ids = sequential_ids(g);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto res = sinkless_orientation_rand(g, ids, n, seed++);
+    benchmark::DoNotOptimize(res.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SinklessRand)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_GadgetVerifier(benchmark::State& state) {
+  const auto inst = build_gadget(3, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto res = run_gadget_verifier(inst.graph, inst.labels);
+    benchmark::DoNotOptimize(res.found_error);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(inst.graph.num_nodes()));
+}
+BENCHMARK(BM_GadgetVerifier)->Arg(6)->Arg(9);
+
+void BM_BuildPaddedInstance(benchmark::State& state) {
+  Graph base = build::random_regular_simple(
+      static_cast<std::size_t>(state.range(0)), 3, 9);
+  const NeLabeling input(base);
+  for (auto _ : state) {
+    auto pb = build_padded_instance(base, input, 3, 5);
+    benchmark::DoNotOptimize(pb.instance.graph.num_nodes());
+  }
+}
+BENCHMARK(BM_BuildPaddedInstance)->Arg(64)->Arg(256);
+
+
+void BM_PathVerifier(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  const GadgetInstance inst = build_path_gadget(3, length);
+  for (auto _ : state) {
+    auto res = run_path_verifier_ne(inst.graph, inst.labels);
+    benchmark::DoNotOptimize(res.found_error);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(inst.graph.num_nodes()));
+}
+BENCHMARK(BM_PathVerifier)->Arg(64)->Arg(512);
+
+void BM_PowerGraphSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = build::random_regular_simple(n, 3, 9);
+  for (auto _ : state) {
+    PowerGraph p = power_graph(g, 2);
+    benchmark::DoNotOptimize(p.graph.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PowerGraphSquare)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_LineGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = build::random_regular_simple(n, 3, 10);
+  for (auto _ : state) {
+    LineGraph lg = line_graph(g);
+    benchmark::DoNotOptimize(lg.graph.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LineGraph)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_SerializePaddedRoundTrip(benchmark::State& state) {
+  const auto base_n = static_cast<std::size_t>(state.range(0));
+  const Graph base = build::random_regular(base_n, 3, 11);
+  const PaddedBuild pb = build_padded_instance(base, NeLabeling(base), 3, 4);
+  for (auto _ : state) {
+    std::stringstream ss;
+    io::write_padded_instance(ss, pb.instance);
+    PaddedInstance back = io::read_padded_instance(ss);
+    benchmark::DoNotOptimize(back.graph.num_edges());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(pb.instance.graph.num_nodes()));
+}
+BENCHMARK(BM_SerializePaddedRoundTrip)->Arg(32)->Arg(128);
+
+void BM_DerandomizedMis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = build::random_regular_simple(n, 3, 12);
+  const IdMap ids = shuffled_ids(g, 3);
+  for (auto _ : state) {
+    auto res = derandomized_mis(g, ids, 13);
+    benchmark::DoNotOptimize(res.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DerandomizedMis)->Arg(1 << 10)->Arg(1 << 12);
+
+}  // namespace
+}  // namespace padlock

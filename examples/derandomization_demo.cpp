@@ -1,0 +1,72 @@
+// Derandomization by network decomposition (the Discussion's GHK'18
+// transform), end to end on one graph: compute a decomposition, sweep its
+// color classes to solve MIS and (Δ+1)-coloring deterministically, and
+// compare with the direct randomized algorithms.
+//
+//   $ ./derandomization_demo [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/carving.hpp"
+#include "algo/derandomize.hpp"
+#include "algo/linial.hpp"
+#include "algo/luby_mis.hpp"
+#include "graph/builders.hpp"
+#include "lcl/problems/coloring.hpp"
+#include "lcl/problems/mis.hpp"
+
+using namespace padlock;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
+  const Graph g = build::random_regular_simple(n, 3, 5);
+  const IdMap ids = shuffled_ids(g, 9);
+  std::printf("graph: %zu nodes, 3-regular\n\n", g.num_nodes());
+
+  const Decomposition rnd = network_decomposition(g, ids, 41);
+  std::printf("Linial-Saks decomposition: %d colors, radius %d, %d rounds\n",
+              rnd.num_colors, rnd.max_cluster_radius, rnd.rounds);
+  const Decomposition carved = carving_decomposition(g, ids);
+  std::printf("ball-carving decomposition: %d colors, radius %d, %d rounds\n",
+              carved.num_colors, carved.max_cluster_radius, carved.rounds);
+  std::printf("  (same quality; the round blow-up is the open ND(n) gap)\n\n");
+
+  const auto mis_swept = solve_by_decomposition(g, rnd, mis_completion(ids));
+  NodeMap<bool> in_set(g, false);
+  std::size_t size = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    in_set[v] = mis_swept.output[v] == 1;
+    size += in_set[v] ? 1 : 0;
+  }
+  const auto mis_direct = luby_mis(g, ids, 43);
+  std::size_t direct_size = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    direct_size += mis_direct.in_set[v] ? 1 : 0;
+  std::printf(
+      "MIS via sweep:  %zu nodes, sweep %d rounds (+%d decomposition) — %s\n",
+      size, mis_swept.sweep_rounds, rnd.rounds,
+      is_mis(g, in_set) ? "valid" : "INVALID");
+  std::printf("MIS via Luby:   %zu nodes, %d rounds — %s\n", direct_size,
+              mis_direct.rounds,
+              is_mis(g, mis_direct.in_set) ? "valid" : "INVALID");
+
+  const auto col_swept =
+      solve_by_decomposition(g, rnd, coloring_completion(ids, 4));
+  NodeMap<int> colors(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) colors[v] = col_swept.output[v];
+  const auto col_direct = linial_color(g, ids, g.num_nodes());
+  std::printf(
+      "\n4-coloring via sweep:  sweep %d rounds — %s\n"
+      "4-coloring via Linial: %d rounds — %s\n",
+      col_swept.sweep_rounds,
+      is_proper_coloring(g, colors, 4) ? "valid" : "INVALID",
+      col_direct.total_rounds(),
+      is_proper_coloring(g, col_direct.colors, 4) ? "valid" : "INVALID");
+  std::printf(
+      "\nThe sweep solves *any* greedily completable LCL in\n"
+      "O(colors x radius) = O(log^2 n) rounds once a decomposition exists —\n"
+      "so deterministic decomposition locality bounds deterministic LCL\n"
+      "complexity, which is why the paper's open D/R question reduces to\n"
+      "ND(n).\n");
+  return 0;
+}

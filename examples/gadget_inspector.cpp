@@ -1,0 +1,51 @@
+// Gadget inspector: build a (log, Δ)-gadget, break it, and watch the
+// verifier assemble a locally checkable proof of error (§4 of the paper).
+//
+//   $ ./gadget_inspector
+#include <cstdio>
+#include <map>
+
+#include "gadget/faults.hpp"
+#include "gadget/ne_refinement.hpp"
+#include "gadget/verifier.hpp"
+
+using namespace padlock;
+
+int main() {
+  const int delta = 3, height = 5;
+  const auto good = build_gadget(delta, height);
+  std::printf("gadget: delta = %d, height = %d, %zu nodes, %zu edges\n",
+              delta, height, good.graph.num_nodes(), good.graph.num_edges());
+
+  const auto ok = run_gadget_verifier(good.graph, good.labels);
+  std::printf("verifier on the valid gadget: %s, %d rounds\n",
+              ok.found_error ? "error?!" : "all GadOk", ok.report.rounds);
+
+  for (const GadgetFault fault :
+       {GadgetFault::kSwapSiblings, GadgetFault::kAddParallelEdge,
+        GadgetFault::kCrossSubgadgetEdge}) {
+    const auto bad = inject_fault(good, fault, 3);
+    const auto res = run_gadget_verifier(bad.graph, bad.labels);
+    std::map<std::string, int> histogram;
+    for (NodeId v = 0; v < bad.graph.num_nodes(); ++v)
+      ++histogram[psi_label_name(res.output[v])];
+    std::printf("\nfault '%s': proof labels = {", fault_name(fault).c_str());
+    bool first = true;
+    for (const auto& [name, count] : histogram) {
+      std::printf("%s%s: %d", first ? "" : ", ", name.c_str(), count);
+      first = false;
+    }
+    const auto chk = check_psi(bad.graph, bad.labels, res.output);
+    std::printf("}; proof %s\n", chk.ok ? "verifies" : "REJECTED");
+
+    const auto ne = run_gadget_verifier_ne(bad.graph, bad.labels);
+    const auto nechk = check_psi_ne(bad.graph, bad.labels, ne.output);
+    std::printf("node-edge-checkable form (witnesses + claims): %s\n",
+                nechk.ok ? "verifies" : "REJECTED");
+  }
+  std::printf(
+      "\nEvery node either pinpoints its own violation or points along an\n"
+      "error chain (Right/Left/Parent/RChild/Up/Down_i) that provably ends\n"
+      "at one — and on a valid gadget no such labeling exists (Lemma 9).\n");
+  return 0;
+}

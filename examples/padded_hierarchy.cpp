@@ -1,0 +1,56 @@
+// The paper's construction end to end: build Π_2 = pad(sinkless
+// orientation), solve it deterministically and randomized, verify the
+// full Π' output, and display the round accounting of Lemma 4.
+//
+//   $ ./padded_hierarchy [base_nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/sinkless_det.hpp"
+#include "algo/sinkless_rand.hpp"
+#include "core/hierarchy.hpp"
+#include "lcl/problems/sinkless_orientation.hpp"
+
+using namespace padlock;
+
+int main(int argc, char** argv) {
+  const std::size_t base = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
+  const auto h = build_hierarchy(2, base, 7);
+  std::printf(
+      "Pi_2 instance: base graph %zu nodes -> padded graph %zu nodes "
+      "(balanced, f = sqrt)\n",
+      h.base.num_nodes(), h.total_nodes());
+
+  // Full Π' solve with explicit diagnostics.
+  const auto& inst = h.padded.back().instance;
+  const IdMap ids = shuffled_ids(inst.graph, 11);
+  const InnerSolver det = [](const Graph& g, const IdMap& vids,
+                             const NeLabeling&, std::size_t nk) {
+    const auto r = sinkless_orientation_det(g, vids, nk);
+    return InnerSolveResult{orientation_to_labeling(g, r.tails),
+                            r.report.rounds};
+  };
+  const auto res = solve_pi_prime(inst, det, ids, h.total_nodes());
+  std::printf(
+      "Lemma 4 pipeline: verifier %d rounds; contracted to %zu virtual "
+      "nodes / %zu virtual edges;\n  inner sinkless solve %d rounds; gadget "
+      "stretch %d; total %d rounds\n",
+      res.verifier_rounds, res.virtual_nodes, res.virtual_edges,
+      res.inner_rounds, res.stretch, res.report.rounds);
+
+  const SinklessOrientation pi;
+  const auto chk = check_pi_prime(inst, pi, res.output);
+  std::printf("Pi' checker (constraints 1-6 of §3.3): %s\n",
+              chk.ok ? "valid" : "INVALID");
+
+  // The headline comparison through the hierarchy driver.
+  const auto d = solve_hierarchy(h, false, 5);
+  const auto r = solve_hierarchy(h, true, 5);
+  std::printf(
+      "\ndeterministic: leaf %d rounds -> total %d rounds\n"
+      "randomized:    leaf %d rounds -> total %d rounds\n"
+      "Both pay the same Θ(log N) stretch per simulated round, so the base\n"
+      "gap (Θ(log) vs Θ(loglog)) survives as Θ(log²) vs Θ(log·loglog).\n",
+      d.leaf_rounds, d.rounds, r.leaf_rounds, r.rounds);
+  return chk.ok ? 0 : 1;
+}

@@ -1,0 +1,191 @@
+// padlock CLI — drive the library from the shell: build gadgets and padded
+// instances, verify them, inject faults, solve the Π_i hierarchy, and
+// export DOT/text artifacts.
+//
+//   padlock_cli gadget   --delta 3 --height 4 [--fault <name>] [--dot] [--verify]
+//   padlock_cli pad      --base-nodes 16 --delta 3 --height 3 [--dot] [--dump]
+//   padlock_cli solve    --levels 2 --base-nodes 64 [--rand] [--seed 7]
+//   padlock_cli verify   < padded-instance.txt
+//   padlock_cli export   --kind cycle|cubic|torus --nodes N [--seed S]
+//
+// Outputs go to stdout so artifacts can be piped:
+//   padlock_cli pad --base-nodes 9 --dump | padlock_cli verify
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "algo/sinkless_det.hpp"
+#include "algo/sinkless_rand.hpp"
+#include "core/hierarchy.hpp"
+#include "gadget/faults.hpp"
+#include "gadget/verifier.hpp"
+#include "graph/builders.hpp"
+#include "io/dot.hpp"
+#include "io/serialize.hpp"
+#include "lcl/problems/sinkless_orientation.hpp"
+
+using namespace padlock;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& k) const { return kv.count("--" + k) > 0; }
+  std::string str(const std::string& k, const std::string& dflt) const {
+    const auto it = kv.find("--" + k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  long num(const std::string& k, long dflt) const {
+    const auto it = kv.find("--" + k);
+    return it == kv.end() ? dflt : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    std::string val = "1";
+    if (i + 1 < argc && argv[i + 1][0] != '-') val = argv[++i];
+    a.kv[key] = val;
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: padlock_cli <gadget|pad|solve|verify|export> "
+               "[--options]\n(see header comment of padlock_cli.cpp)\n");
+  return 2;
+}
+
+GadgetFault fault_by_name(const std::string& name) {
+  for (const GadgetFault f : all_gadget_faults()) {
+    if (fault_name(f) == name) return f;
+  }
+  std::fprintf(stderr, "unknown fault '%s'; available:", name.c_str());
+  for (const GadgetFault f : all_gadget_faults()) {
+    std::fprintf(stderr, " %s", fault_name(f).c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+int cmd_gadget(const Args& a) {
+  const int delta = static_cast<int>(a.num("delta", 3));
+  const int height = static_cast<int>(a.num("height", 4));
+  GadgetInstance inst = build_gadget(delta, height);
+  if (a.flag("fault")) {
+    inst = inject_fault(inst, fault_by_name(a.str("fault", "")),
+                        static_cast<std::uint64_t>(a.num("seed", 1)));
+  }
+  if (a.flag("dot")) {
+    io::write_gadget_dot(std::cout, inst);
+    return 0;
+  }
+  const auto res = run_gadget_verifier(inst.graph, inst.labels);
+  std::printf("gadget: delta=%d height=%d nodes=%zu\n", delta, height,
+              inst.graph.num_nodes());
+  std::printf("verifier: %s in %d rounds\n",
+              res.found_error ? "proof of error" : "all GadOk",
+              res.report.rounds);
+  return 0;
+}
+
+int cmd_pad(const Args& a) {
+  std::size_t base_nodes = static_cast<std::size_t>(a.num("base-nodes", 16));
+  const int delta = static_cast<int>(a.num("delta", 3));
+  const int height = static_cast<int>(a.num("height", 3));
+  const auto seed = static_cast<std::uint64_t>(a.num("seed", 7));
+  // The configuration model needs an even degree sum.
+  if ((base_nodes * static_cast<std::size_t>(delta)) % 2 != 0) ++base_nodes;
+  const Graph base = build::random_regular(base_nodes, delta, seed);
+  const NeLabeling base_input(base);
+  const PaddedBuild pb = build_padded_instance(base, base_input, delta, height);
+  if (a.flag("dot")) {
+    io::write_padded_dot(std::cout, pb.instance);
+    return 0;
+  }
+  if (a.flag("dump")) {
+    io::write_padded_instance(std::cout, pb.instance);
+    return 0;
+  }
+  std::printf("padded: base %zu nodes -> %zu nodes, %zu edges\n",
+              base.num_nodes(), pb.instance.graph.num_nodes(),
+              pb.instance.graph.num_edges());
+  return 0;
+}
+
+int cmd_solve(const Args& a) {
+  const int levels = static_cast<int>(a.num("levels", 2));
+  const std::size_t base_nodes =
+      static_cast<std::size_t>(a.num("base-nodes", 64));
+  const auto seed = static_cast<std::uint64_t>(a.num("seed", 7));
+  const bool randomized = a.flag("rand");
+  const Hierarchy h = build_hierarchy(levels, base_nodes, seed);
+  const auto res = solve_hierarchy(h, randomized, seed);
+  std::printf(
+      "Pi_%d on %zu nodes (%s leaf): %d rounds "
+      "(leaf %d, sinkless output %s)\n",
+      levels, h.total_nodes(), randomized ? "randomized" : "deterministic",
+      res.rounds, res.leaf_rounds,
+      res.leaf_output_sinkless ? "valid" : "INVALID");
+  return res.leaf_output_sinkless ? 0 : 1;
+}
+
+int cmd_verify(const Args&) {
+  try {
+    const PaddedInstance inst = io::read_padded_instance(std::cin);
+    // Lemma 4 step 1: the verifier runs on the GadEdge subgraph only.
+    const GadgetSubgraph gs = gadget_subgraph(inst);
+    const auto res = run_gadget_verifier(gs.graph, gs.labels);
+    std::printf("instance: %zu nodes, %zu edges; verifier: %s (%d rounds)\n",
+                inst.graph.num_nodes(), inst.graph.num_edges(),
+                res.found_error ? "errors found" : "all gadgets valid",
+                res.report.rounds);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_export(const Args& a) {
+  const std::string kind = a.str("kind", "cycle");
+  const std::size_t n = static_cast<std::size_t>(a.num("nodes", 32));
+  const auto seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  Graph g;
+  if (kind == "cycle") {
+    g = build::cycle(n);
+  } else if (kind == "cubic") {
+    g = build::random_regular(n, 3, seed);
+  } else if (kind == "torus") {
+    g = build::torus(n / 8 > 0 ? n / 8 : 1, 8);
+  } else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+    return 2;
+  }
+  if (a.flag("dot")) {
+    io::write_dot(std::cout, g);
+  } else {
+    io::write_graph(std::cout, g);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args a = parse(argc, argv, 2);
+  if (cmd == "gadget") return cmd_gadget(a);
+  if (cmd == "pad") return cmd_pad(a);
+  if (cmd == "solve") return cmd_solve(a);
+  if (cmd == "verify") return cmd_verify(a);
+  if (cmd == "export") return cmd_export(a);
+  return usage();
+}

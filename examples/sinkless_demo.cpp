@@ -1,0 +1,41 @@
+// Sinkless orientation — the paper's base problem Π_1 — deterministic vs
+// randomized, with the exponential round gap measured live.
+//
+//   $ ./sinkless_demo [log2_n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/sinkless_det.hpp"
+#include "algo/sinkless_rand.hpp"
+#include "graph/builders.hpp"
+#include "lcl/problems/sinkless_orientation.hpp"
+
+using namespace padlock;
+
+int main(int argc, char** argv) {
+  const int lg = argc > 1 ? std::atoi(argv[1]) : 14;
+  const std::size_t n = std::size_t{1} << lg;
+  std::printf("sinkless orientation on a random cubic graph, n = %zu\n", n);
+
+  Graph g = build::random_regular_simple(n, 3, 2024);
+  const IdMap ids = shuffled_ids(g, 7);
+
+  const auto det = sinkless_orientation_det(g, ids, n);
+  std::printf("deterministic: %d rounds, valid = %s\n", det.report.rounds,
+              is_sinkless(g, det.tails) ? "yes" : "NO");
+
+  const auto rnd = sinkless_orientation_rand(g, ids, n, 99);
+  std::printf(
+      "randomized:    %d rounds, valid = %s  (unsatisfied after the random "
+      "orientation: %d, deepest repair: %d)\n",
+      rnd.rounds, is_sinkless(g, rnd.tails) ? "yes" : "NO",
+      rnd.unsatisfied_after_propose, rnd.max_repair_radius);
+
+  std::printf(
+      "\nThe deterministic algorithm routes every node to a canonical short\n"
+      "cycle within its O(log n)-radius ball; the randomized one orients\n"
+      "edges by coin flips and repairs the ~n/8 sinks locally. Run with a\n"
+      "larger log2_n to watch the deterministic column grow while the\n"
+      "randomized one stays flat.\n");
+  return 0;
+}

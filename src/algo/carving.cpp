@@ -1,0 +1,108 @@
+#include "algo/carving.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace padlock {
+
+namespace {
+
+// BFS inside the subgraph induced by `alive`, from s, up to depth `limit`;
+// returns nodes by distance layer (layer[d] = nodes at distance d).
+std::vector<std::vector<NodeId>> layered_ball(const Graph& g,
+                                              const NodeMap<bool>& alive,
+                                              NodeId s, int limit) {
+  std::vector<std::vector<NodeId>> layers;
+  NodeMap<int> dist(g.num_nodes(), -1);
+  dist[s] = 0;
+  layers.push_back({s});
+  for (int d = 0; d < limit; ++d) {
+    std::vector<NodeId> next;
+    for (NodeId v : layers[static_cast<std::size_t>(d)]) {
+      for (int p = 0; p < g.degree(v); ++p) {
+        const NodeId u = g.neighbor(v, p);
+        if (u == v || !alive[u] || dist[u] != -1) continue;
+        dist[u] = d + 1;
+        next.push_back(u);
+      }
+    }
+    if (next.empty()) break;
+    layers.push_back(std::move(next));
+  }
+  return layers;
+}
+
+}  // namespace
+
+Decomposition carving_decomposition(const Graph& g, const IdMap& ids) {
+  PADLOCK_REQUIRE(ids_valid(g, ids));
+  const std::size_t n = g.num_nodes();
+
+  Decomposition d;
+  d.color = NodeMap<int>(n, 0);
+  d.cluster = NodeMap<NodeId>(n, kNoNode);
+  if (n == 0) return d;
+
+  NodeMap<bool> unclustered(n, true);
+  std::size_t left = n;
+  int rounds = 0;
+
+  // Node processing order by id (the deterministic tie-break).
+  std::vector<NodeId> by_id(n);
+  for (NodeId v = 0; v < n; ++v) by_id[v] = v;
+  std::sort(by_id.begin(), by_id.end(),
+            [&](NodeId a, NodeId b) { return ids[a] < ids[b]; });
+
+  int c = 0;
+  while (left > 0) {
+    ++c;
+    // Nodes eligible for carving in this phase; deferrals drop out but stay
+    // unclustered.
+    NodeMap<bool> in_phase(n, false);
+    for (NodeId v = 0; v < n; ++v) in_phase[v] = unclustered[v];
+
+    for (NodeId s : by_id) {
+      if (!in_phase[s]) continue;
+      // Grow while the ball at least doubles; radius is then <= log2 n.
+      auto layers = layered_ball(g, in_phase, s, static_cast<int>(n));
+      std::size_t size = 1;
+      int r = 0;
+      while (r + 1 < static_cast<int>(layers.size())) {
+        const std::size_t grown =
+            size + layers[static_cast<std::size_t>(r) + 1].size();
+        if (grown >= 2 * size) {
+          size = grown;
+          ++r;
+        } else {
+          break;
+        }
+      }
+      // Carve B(r) as a cluster, defer the (r+1)-shell out of the phase.
+      for (int dpt = 0; dpt <= r; ++dpt) {
+        for (NodeId v : layers[static_cast<std::size_t>(dpt)]) {
+          d.color[v] = c;
+          d.cluster[v] = s;
+          in_phase[v] = false;
+          unclustered[v] = false;
+          --left;
+        }
+      }
+      if (r + 1 < static_cast<int>(layers.size())) {
+        for (NodeId v : layers[static_cast<std::size_t>(r) + 1]) {
+          in_phase[v] = false;  // deferred to phase c+1
+        }
+      }
+      d.max_cluster_radius = std::max(d.max_cluster_radius, r);
+      rounds += 2 * (r + 1);  // sequential gather + write-back per carving
+    }
+  }
+
+  d.num_colors = c;
+  d.rounds = rounds;
+  return d;
+}
+
+}  // namespace padlock

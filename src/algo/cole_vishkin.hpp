@@ -1,0 +1,46 @@
+// Cole–Vishkin 3-coloring of consistently oriented cycles — the canonical
+// Θ(log* n) LCL algorithm (Figure 1's "3-coloring cycles" landscape point).
+//
+// Input: a cycle with a *consistent orientation*, given as a per-node
+// successor port (an input labeling; a consistent "port 0 = successor"
+// convention cannot exist on a cycle because ports follow edge-insertion
+// order). Each node starts from its unique id and repeatedly applies the
+// bit-trick color reduction against its successor's color; after a fixed
+// schedule of iterations (computable from n, since ids are poly(n)) colors
+// lie in {0..5}, and three shift-down+recolor rounds bring them to {1,2,3}.
+//
+// Runs on the synchronous message engine, so the returned round count is the
+// exact LOCAL complexity of this execution.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+#include "local/ids.hpp"
+
+namespace padlock {
+
+struct ColeVishkinResult {
+  NodeMap<int> colors;  // in {1,2,3}
+  int rounds = 0;
+};
+
+/// Number of bit-reduction iterations the schedule prescribes for ids drawn
+/// from {1..id_space}; this is log*-ish and what makes the round count a
+/// function of n.
+int cole_vishkin_iterations(std::uint64_t id_space);
+
+/// Successor ports of the cycles produced by build::cycle (the orientation
+/// 0 -> 1 -> ... -> n-1 -> 0 expressed in that builder's port numbering).
+NodeMap<int> cycle_successor_ports(const Graph& g);
+
+/// True iff succ_port orients g as one or more consistently directed
+/// cycles: every node has degree 2 and following successor ports from both
+/// neighbors never selects the same edge.
+bool successor_ports_consistent(const Graph& g, const NodeMap<int>& succ_port);
+
+/// 3-colors the consistently oriented cycle(s) (g, succ_port).
+ColeVishkinResult cole_vishkin_3color(const Graph& g, const IdMap& ids,
+                                      const NodeMap<int>& succ_port,
+                                      std::uint64_t id_space);
+
+}  // namespace padlock

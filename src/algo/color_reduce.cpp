@@ -1,0 +1,158 @@
+#include "algo/color_reduce.hpp"
+
+#include <unordered_set>
+#include <vector>
+#include <vector>
+
+namespace padlock {
+
+ColorReduceResult reduce_to_degree_plus_one(const Graph& g,
+                                            const NodeMap<int>& colors,
+                                            int num_colors) {
+  PADLOCK_REQUIRE(colors.size() == g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    PADLOCK_REQUIRE(!g.is_self_loop(e));
+  const int palette = g.max_degree() + 1;
+  ColorReduceResult result{NodeMap<int>(g, 0), 0};
+  // Round c: nodes of input color c pick the smallest color unused by any
+  // neighbor's already-final color. Neighbors of the same input color never
+  // exist (proper input), so the round is conflict-free.
+  for (int c = 1; c <= num_colors; ++c) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (colors[v] != c) continue;
+      PADLOCK_REQUIRE(colors[v] >= 1 && colors[v] <= num_colors);
+      std::vector<bool> used(static_cast<std::size_t>(palette) + 1, false);
+      for (int p = 0; p < g.degree(v); ++p) {
+        const int nc = result.colors[g.neighbor(v, p)];
+        if (nc >= 1 && nc <= palette) used[static_cast<std::size_t>(nc)] = true;
+      }
+      for (int cand = 1; cand <= palette; ++cand) {
+        if (!used[static_cast<std::size_t>(cand)]) {
+          result.colors[v] = cand;
+          break;
+        }
+      }
+      PADLOCK_ASSERT(result.colors[v] >= 1);
+    }
+    ++result.rounds;
+  }
+  return result;
+}
+
+NodeMap<int> greedy_distance2_coloring(const Graph& g, int* num_colors_out) {
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    PADLOCK_REQUIRE(!g.is_self_loop(e));
+  NodeMap<int> colors(g, 0);
+  int max_used = 0;
+  std::unordered_set<int> used;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    used.clear();
+    for (int p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p);
+      if (colors[u] != 0) used.insert(colors[u]);
+      for (int q = 0; q < g.degree(u); ++q) {
+        const NodeId w = g.neighbor(u, q);
+        if (w != v && colors[w] != 0) used.insert(colors[w]);
+      }
+    }
+    int cand = 1;
+    while (used.contains(cand)) ++cand;
+    colors[v] = cand;
+    if (cand > max_used) max_used = cand;
+  }
+  if (num_colors_out != nullptr) *num_colors_out = max_used;
+  return colors;
+}
+
+NodeMap<int> greedy_distance_coloring(const Graph& g, int k,
+                                      int* num_colors_out) {
+  PADLOCK_REQUIRE(k >= 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    PADLOCK_REQUIRE(!g.is_self_loop(e));
+  NodeMap<int> colors(g, 0);
+  int max_used = 0;
+  std::vector<NodeId> frontier, next;
+  std::vector<int> depth(g.num_nodes(), -1);
+  std::unordered_set<int> used;
+  std::vector<NodeId> touched;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    used.clear();
+    touched.clear();
+    frontier = {v};
+    depth[v] = 0;
+    touched.push_back(v);
+    for (int d = 0; d < k && !frontier.empty(); ++d) {
+      next.clear();
+      for (NodeId u : frontier) {
+        for (int p = 0; p < g.degree(u); ++p) {
+          const NodeId w = g.neighbor(u, p);
+          if (depth[w] != -1) continue;
+          depth[w] = d + 1;
+          touched.push_back(w);
+          next.push_back(w);
+          if (colors[w] != 0) used.insert(colors[w]);
+        }
+      }
+      frontier = next;
+    }
+    int cand = 1;
+    while (used.contains(cand)) ++cand;
+    colors[v] = cand;
+    if (cand > max_used) max_used = cand;
+    for (NodeId t : touched) depth[t] = -1;
+  }
+  if (num_colors_out != nullptr) *num_colors_out = max_used;
+  return colors;
+}
+
+bool is_distance_coloring(const Graph& g, const NodeMap<int>& colors, int k) {
+  if (colors.size() != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (colors[v] < 1) return false;
+  std::vector<int> depth(g.num_nodes(), -1);
+  std::vector<NodeId> frontier, next, touched;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    frontier = {v};
+    touched = {v};
+    depth[v] = 0;
+    bool ok = true;
+    for (int d = 0; d < k && ok; ++d) {
+      next.clear();
+      for (NodeId u : frontier) {
+        for (int p = 0; p < g.degree(u); ++p) {
+          const NodeId w = g.neighbor(u, p);
+          if (w == v && d == 0) return false;  // self-loop
+          if (depth[w] != -1) continue;
+          depth[w] = d + 1;
+          touched.push_back(w);
+          next.push_back(w);
+          if (colors[w] == colors[v]) ok = false;
+        }
+      }
+      frontier = next;
+    }
+    for (NodeId t : touched) depth[t] = -1;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool is_distance2_coloring(const Graph& g, const NodeMap<int>& colors) {
+  if (colors.size() != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (colors[v] < 1) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p);
+      if (u == v) return false;  // self-loop
+      if (colors[u] == colors[v]) return false;
+      for (int q = 0; q < g.degree(u); ++q) {
+        const NodeId w = g.neighbor(u, q);
+        if (w != v && colors[w] == colors[v]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace padlock

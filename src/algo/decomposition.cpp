@@ -1,0 +1,133 @@
+#include "algo/decomposition.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace padlock {
+
+namespace {
+
+int radius_cap(std::size_t n) {
+  return 2 + std::bit_width(std::max<std::size_t>(n, 2) - 1);
+}
+
+}  // namespace
+
+Decomposition network_decomposition(const Graph& g, const IdMap& ids,
+                                    std::uint64_t seed) {
+  PADLOCK_REQUIRE(ids_valid(g, ids));
+  const auto n = g.num_nodes();
+  const int cap = radius_cap(n);
+
+  Decomposition out{NodeMap<int>(g, 0), NodeMap<NodeId>(g, kNoNode), 0, 0, 0};
+  std::vector<bool> live(n, true);
+  std::size_t live_count = n;
+
+  int phase = 0;
+  while (live_count > 0) {
+    ++phase;
+    PADLOCK_REQUIRE(phase <= 64 * (cap + 2));  // w.h.p. ~log n phases
+
+    // Draw radii.
+    std::vector<int> r(n, 0);
+    int max_r = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!live[v]) continue;
+      Rng rng(per_node_seed(seed ^ (0xDECull * phase), ids[v]));
+      int draw = 0;
+      while (draw < cap && rng.chance(0.5)) ++draw;
+      r[v] = draw;
+      max_r = std::max(max_r, draw);
+    }
+
+    // Claim propagation: every live node v floods (id, r_v) over its
+    // radius-r_v ball (live and retired nodes alike relay, but only live
+    // nodes elect). best[u] = (id of claimant, remaining depth).
+    std::vector<std::uint64_t> best_id(n, 0);
+    std::vector<NodeId> best_center(n, kNoNode);
+    std::vector<int> best_slack(n, -1);  // r_v - d(u,v) of the elected claim
+    for (NodeId v = 0; v < n; ++v) {
+      if (!live[v]) continue;
+      // BFS to depth r[v].
+      std::queue<std::pair<NodeId, int>> q;
+      std::vector<NodeId> touched;
+      // Local visited marker via best arrays would break other claims; use
+      // a per-claim map.
+      std::unordered_map<NodeId, int> dist;
+      dist[v] = 0;
+      q.push({v, 0});
+      while (!q.empty()) {
+        const auto [u, d] = q.front();
+        q.pop();
+        if (ids[v] > best_id[u]) {
+          best_id[u] = ids[v];
+          best_center[u] = v;
+          best_slack[u] = r[v] - d;
+        }
+        if (d == r[v]) continue;
+        for (int p = 0; p < g.degree(u); ++p) {
+          const NodeId w = g.neighbor(u, p);
+          if (dist.emplace(w, d + 1).second) q.push({w, d + 1});
+        }
+      }
+      (void)touched;
+    }
+
+    // Elect and retire: only strictly interior nodes join (d < r of the
+    // elected claim); border nodes stay live, which is what guarantees that
+    // same-phase clusters are never adjacent.
+    for (NodeId u = 0; u < n; ++u) {
+      if (!live[u] || best_center[u] == kNoNode) continue;
+      if (best_slack[u] >= 1) {
+        out.color[u] = phase;
+        out.cluster[u] = best_center[u];
+        live[u] = false;
+        --live_count;
+      }
+    }
+    out.rounds += 2 * std::max(max_r, 1) + 1;
+  }
+  out.num_colors = phase;
+
+  // Cluster radius bookkeeping (around centers). A center may itself have
+  // retired into a different cluster in a later phase, so collect the set
+  // of referenced centers rather than self-members.
+  for (NodeId v = 0; v < n; ++v) PADLOCK_ASSERT(out.cluster[v] != kNoNode);
+  std::vector<NodeId> centers;
+  {
+    std::vector<bool> is_center(n, false);
+    for (NodeId v = 0; v < n; ++v) is_center[out.cluster[v]] = true;
+    for (NodeId v = 0; v < n; ++v)
+      if (is_center[v]) centers.push_back(v);
+  }
+  for (NodeId c : centers) {
+    const auto dist = bfs_distances(g, c);
+    for (NodeId v = 0; v < n; ++v)
+      if (out.cluster[v] == c)
+        out.max_cluster_radius = std::max(out.max_cluster_radius, dist[v]);
+  }
+  return out;
+}
+
+bool decomposition_valid(const Graph& g, const Decomposition& d,
+                         int max_radius) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (d.color[v] < 1 || d.cluster[v] == kNoNode) return false;
+  }
+  // Same color + adjacent => same cluster.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId u = g.endpoint(e, 0);
+    const NodeId v = g.endpoint(e, 1);
+    if (u != v && d.color[u] == d.color[v] && d.cluster[u] != d.cluster[v])
+      return false;
+  }
+  return d.max_cluster_radius <= max_radius;
+}
+
+}  // namespace padlock

@@ -1,0 +1,141 @@
+#include "algo/derandomize.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/metrics.hpp"
+#include "support/check.hpp"
+
+namespace padlock {
+
+DerandomizedResult solve_by_decomposition(const Graph& g,
+                                          const Decomposition& decomp,
+                                          const ClusterCompletion& complete,
+                                          int init) {
+  const std::size_t n = g.num_nodes();
+  DerandomizedResult res;
+  res.output = NodeMap<int>(n, init);
+  res.colors_used = decomp.num_colors;
+  if (n == 0) return res;
+
+  // Group nodes into clusters keyed by (color, center).
+  struct Cluster {
+    int color = 0;
+    std::vector<NodeId> nodes;
+  };
+  std::vector<Cluster> clusters;
+  {
+    // center -> cluster index for the current color sweep; rebuilt per
+    // color so distinct-color clusters sharing a center stay separate.
+    for (int c = 1; c <= decomp.num_colors; ++c) {
+      NodeMap<int> slot(n, -1);
+      for (NodeId v = 0; v < n; ++v) {
+        if (decomp.color[v] != c) continue;
+        const NodeId ctr = decomp.cluster[v];
+        if (slot[ctr] == -1) {
+          slot[ctr] = static_cast<int>(clusters.size());
+          clusters.push_back(Cluster{c, {}});
+        }
+        clusters[static_cast<std::size_t>(slot[ctr])].nodes.push_back(v);
+      }
+    }
+  }
+
+  NodeMap<bool> fixed(n, false);
+  int finish = 0;
+  for (int c = 1; c <= decomp.num_colors; ++c) {
+    // All color-c clusters complete in parallel; the LOCAL cost of the
+    // round is 2 * (max radius of a color-c cluster) + 1 (gather the
+    // cluster plus its fixed 1-hop boundary, then write back).
+    int color_radius = 0;
+    for (const Cluster& cl : clusters) {
+      if (cl.color != c) continue;
+      // Radius of the cluster around its center, measured in g.
+      const NodeMap<int> dist = bfs_distances(g, decomp.cluster[cl.nodes[0]]);
+      for (NodeId v : cl.nodes) {
+        if (dist[v] != kUnreachable) {
+          color_radius = std::max(color_radius, dist[v]);
+        }
+      }
+      complete(g, cl.nodes, fixed, res.output);
+    }
+    bool any = false;
+    for (const Cluster& cl : clusters) {
+      if (cl.color == c) {
+        any = true;
+        for (NodeId v : cl.nodes) fixed[v] = true;
+      }
+    }
+    if (any) finish += 2 * color_radius + 1;
+  }
+  for (NodeId v = 0; v < n; ++v) PADLOCK_REQUIRE(fixed[v]);
+
+  res.sweep_rounds = finish;
+  res.rounds = decomp.rounds + finish;
+  return res;
+}
+
+ClusterCompletion mis_completion(const IdMap& ids) {
+  return [&ids](const Graph& g, const std::vector<NodeId>& cluster,
+                const NodeMap<bool>& fixed, NodeMap<int>& out) {
+    std::vector<NodeId> order = cluster;
+    std::sort(order.begin(), order.end(),
+              [&](NodeId a, NodeId b) { return ids[a] < ids[b]; });
+    for (NodeId v : order) {
+      bool blocked = false;
+      for (int p = 0; p < g.degree(v) && !blocked; ++p) {
+        const NodeId u = g.neighbor(v, p);
+        // Loop-free required (as for Luby): a self-loop node may never
+        // join the set yet must be dominated, which greedy order cannot
+        // guarantee.
+        PADLOCK_REQUIRE(u != v);
+        if (out[u] == 1) blocked = true;
+      }
+      out[v] = blocked ? 2 : 1;
+    }
+    (void)fixed;
+  };
+}
+
+ClusterCompletion coloring_completion(const IdMap& ids, int num_colors) {
+  return [&ids, num_colors](const Graph& g,
+                            const std::vector<NodeId>& cluster,
+                            const NodeMap<bool>& fixed, NodeMap<int>& out) {
+    std::vector<NodeId> order = cluster;
+    std::sort(order.begin(), order.end(),
+              [&](NodeId a, NodeId b) { return ids[a] < ids[b]; });
+    for (NodeId v : order) {
+      std::vector<bool> used(static_cast<std::size_t>(num_colors) + 1, false);
+      for (int p = 0; p < g.degree(v); ++p) {
+        const NodeId u = g.neighbor(v, p);
+        if (u == v) continue;
+        const int cu = out[u];
+        if (cu >= 1 && cu <= num_colors) used[static_cast<std::size_t>(cu)] = true;
+      }
+      int pick = 0;
+      for (int c = 1; c <= num_colors; ++c) {
+        if (!used[static_cast<std::size_t>(c)]) {
+          pick = c;
+          break;
+        }
+      }
+      PADLOCK_REQUIRE(pick != 0);  // degree < num_colors guarantees a free color
+      out[v] = pick;
+    }
+    (void)fixed;
+  };
+}
+
+DerandomizedResult derandomized_mis(const Graph& g, const IdMap& ids,
+                                    std::uint64_t seed) {
+  const Decomposition d = network_decomposition(g, ids, seed);
+  return solve_by_decomposition(g, d, mis_completion(ids));
+}
+
+DerandomizedResult derandomized_coloring(const Graph& g, const IdMap& ids,
+                                         std::uint64_t seed) {
+  const Decomposition d = network_decomposition(g, ids, seed);
+  return solve_by_decomposition(g, d, coloring_completion(ids, g.max_degree() + 1));
+}
+
+}  // namespace padlock

@@ -1,0 +1,71 @@
+// Derandomization by network decomposition — the executable content of the
+// transform the paper's Discussion cites (Ghaffari–Harris–Kuhn, FOCS 2018):
+// once a (c, r)-network decomposition is available, any *greedily
+// completable* LCL can be solved deterministically by sweeping the color
+// classes in order and completing each cluster locally.
+//
+// A problem is greedily completable if any partial solution that is locally
+// consistent can be extended over one more cluster without touching fixed
+// outputs; maximal independent set and (Δ+1)-coloring are the canonical
+// examples. For such problems the sweep costs O(Σ_c (r_c + 1)) = O(c · r)
+// rounds on top of computing the decomposition — which is why the
+// deterministic complexity of network decomposition (ND(n) in the paper's
+// Discussion) is the bottleneck for the whole D(n)/R(n) question.
+//
+// Round accounting: clusters of one color are pairwise non-adjacent, so all
+// clusters of color k complete in parallel; each completion is a gather of
+// radius (cluster radius + 1) around the cluster center, and a node must
+// also wait for all earlier color classes to finish. We charge the honest
+// LOCAL schedule: finish(k) = Σ_{j <= k} (2 * radius_j + 1), and a node's
+// round count is finish(color of its cluster).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "algo/decomposition.hpp"
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+#include "local/ids.hpp"
+
+namespace padlock {
+
+/// Extends the partial output over `cluster`. `fixed[v]` says whether
+/// out[v] is already decided (nodes of earlier color classes); the oracle
+/// must assign out[v] for every v in `cluster` without changing fixed
+/// entries, keeping the global partial solution consistent. Oracles see the
+/// whole graph but may only *read* labels of nodes at distance <= 1 from
+/// the cluster (enforced by the driver in debug builds via a masked copy).
+using ClusterCompletion = std::function<void(
+    const Graph& g, const std::vector<NodeId>& cluster,
+    const NodeMap<bool>& fixed, NodeMap<int>& out)>;
+
+struct DerandomizedResult {
+  NodeMap<int> output;
+  int rounds = 0;           // decomposition rounds + sweep rounds
+  int sweep_rounds = 0;     // the Σ (2 r_c + 1) part alone
+  int colors_used = 0;
+};
+
+/// Sweeps `decomp`'s color classes in order, calling `complete` once per
+/// cluster. `init` is the sentinel for "not yet decided" output values.
+DerandomizedResult solve_by_decomposition(const Graph& g,
+                                          const Decomposition& decomp,
+                                          const ClusterCompletion& complete,
+                                          int init = 0);
+
+/// Completion oracle for maximal independent set: out values 0 (undecided),
+/// 1 (in set), 2 (dominated). Greedy by smallest id within the cluster.
+ClusterCompletion mis_completion(const IdMap& ids);
+
+/// Completion oracle for (Δ+1)-coloring: out values 0 (undecided) or a
+/// color in 1..Δ+1. Greedy first-free by smallest id within the cluster.
+ClusterCompletion coloring_completion(const IdMap& ids, int num_colors);
+
+/// Convenience drivers: decomposition (randomized Linial–Saks) + sweep.
+DerandomizedResult derandomized_mis(const Graph& g, const IdMap& ids,
+                                    std::uint64_t seed);
+DerandomizedResult derandomized_coloring(const Graph& g, const IdMap& ids,
+                                         std::uint64_t seed);
+
+}  // namespace padlock

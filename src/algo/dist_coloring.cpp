@@ -1,0 +1,38 @@
+#include "algo/dist_coloring.hpp"
+
+#include "algo/linial.hpp"
+#include "graph/power_graph.hpp"
+#include "support/check.hpp"
+
+namespace padlock {
+
+DistColoringResult distance_k_coloring(const Graph& g, const IdMap& ids,
+                                       std::uint64_t id_space, int k) {
+  PADLOCK_REQUIRE(k >= 1);
+  DistColoringResult res;
+  if (g.num_nodes() == 0) {
+    res.colors = NodeMap<int>(g, 0);
+    return res;
+  }
+  const PowerGraph pk = power_graph(g, k);
+  const LinialResult lin = linial_color(pk.graph, ids, id_space);
+  res.colors = lin.colors;
+  res.num_colors = pk.graph.max_degree() + 1;
+  res.rounds = base_rounds(k, lin.total_rounds());
+  return res;
+}
+
+RulingSetResult ruling_set_power(const Graph& g, const IdMap& ids,
+                                 std::uint64_t id_space, int alpha) {
+  PADLOCK_REQUIRE(alpha >= 2);
+  if (alpha == 2) return ruling_set_aglp(g, ids, id_space);
+  const PowerGraph pk = power_graph(g, alpha - 1);
+  RulingSetResult res = ruling_set_aglp(pk.graph, ids, id_space);
+  res.rounds = base_rounds(alpha - 1, res.rounds);
+  // Domination was measured in G^{alpha-1}; base-graph distances are up to
+  // (alpha-1) times larger, so re-measure there.
+  res.domination_radius = ruling_set_domination(g, res.in_set);
+  return res;
+}
+
+}  // namespace padlock

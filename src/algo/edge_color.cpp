@@ -1,0 +1,29 @@
+#include "algo/edge_color.hpp"
+
+#include "algo/linial.hpp"
+#include "graph/line_graph.hpp"
+#include "support/check.hpp"
+
+namespace padlock {
+
+EdgeColorResult edge_color_log_star(const Graph& g, const IdMap& ids,
+                                    std::uint64_t id_space) {
+  EdgeColorResult res;
+  res.colors = EdgeMap<int>(g, 0);
+  if (g.num_edges() == 0) return res;
+
+  const LineGraph lg = line_graph(g);
+  const IdMap lids = line_graph_ids(g, ids);
+  const std::uint64_t lspace = line_graph_id_space(id_space, g.max_degree());
+
+  const LinialResult lr = linial_color(lg.graph, lids, lspace);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    res.colors[e] = lr.colors[static_cast<NodeId>(e)];
+  }
+  // +1: the endpoints of each edge agree on its derived id before the
+  // line-graph simulation starts.
+  res.rounds = lr.total_rounds() + 1;
+  return res;
+}
+
+}  // namespace padlock

@@ -1,0 +1,26 @@
+// (2Δ-1)-edge coloring in Θ(log* n) rounds: run Linial's node coloring on
+// the line graph L(G) and map the colors back to edges.
+//
+// A round of a node algorithm on L(G) is simulated by one round on G
+// (adjacent line-graph nodes are edges sharing a G-endpoint, i.e. at
+// G-distance 0 of each other through that endpoint), so the G-round count
+// equals the L(G)-round count plus one initial round in which each edge's
+// two endpoints agree on the edge's derived id (smaller-endpoint rule).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+#include "local/ids.hpp"
+
+namespace padlock {
+
+struct EdgeColorResult {
+  EdgeMap<int> colors;  // 1..2Δ-1
+  int rounds = 0;
+};
+
+/// Colors the edges of loop-free `g` with 2Δ-1 colors in O(log* n) rounds.
+EdgeColorResult edge_color_log_star(const Graph& g, const IdMap& ids,
+                                    std::uint64_t id_space);
+
+}  // namespace padlock

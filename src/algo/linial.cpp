@@ -1,0 +1,140 @@
+#include "algo/linial.hpp"
+
+#include <vector>
+
+#include "algo/color_reduce.hpp"
+#include "support/check.hpp"
+
+namespace padlock {
+
+namespace {
+
+bool is_prime(std::uint64_t x) {
+  if (x < 2) return false;
+  for (std::uint64_t d = 2; d * d <= x; ++d)
+    if (x % d == 0) return false;
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t x) {
+  while (!is_prime(x)) ++x;
+  return x;
+}
+
+/// Parameters of one reduction step from K colors at degree Δ: polynomial
+/// degree k and field size q with q^{k+1} >= K and q > k·Δ.
+struct StepParams {
+  std::uint64_t q = 0;
+  int k = 0;
+};
+
+StepParams step_params(std::uint64_t K, int max_degree) {
+  // Prefer the smallest k with a small field; k = 1 suffices once K is
+  // small, larger K wants larger k so q stays near k·Δ.
+  StepParams best;
+  for (int k = 1; k <= 12; ++k) {
+    std::uint64_t q = next_prime(static_cast<std::uint64_t>(k) *
+                                     static_cast<std::uint64_t>(max_degree) +
+                                 1);
+    // Raise q until q^{k+1} >= K (q stays prime).
+    auto pow_ge = [&](std::uint64_t base) {
+      std::uint64_t p = 1;
+      for (int i = 0; i <= k; ++i) {
+        if (p >= K) return true;
+        if (base != 0 && p > K / base + 1) return true;
+        p *= base;
+      }
+      return p >= K;
+    };
+    while (!pow_ge(q)) q = next_prime(q + 1);
+    if (best.q == 0 || q * q < best.q * best.q) best = {q, k};
+  }
+  PADLOCK_ASSERT(best.q > 0);
+  return best;
+}
+
+/// Coefficients of color c as a base-q number (degree-k polynomial).
+std::vector<std::uint64_t> poly_of(std::uint64_t c, std::uint64_t q, int k) {
+  std::vector<std::uint64_t> coeff(static_cast<std::size_t>(k) + 1, 0);
+  for (int i = 0; i <= k && c > 0; ++i) {
+    coeff[static_cast<std::size_t>(i)] = c % q;
+    c /= q;
+  }
+  return coeff;
+}
+
+std::uint64_t eval_poly(const std::vector<std::uint64_t>& coeff,
+                        std::uint64_t x, std::uint64_t q) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeff.size(); i-- > 0;)
+    acc = (acc * x + coeff[i]) % q;
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t linial_step_palette(std::uint64_t K, int max_degree) {
+  const StepParams sp = step_params(K, max_degree);
+  return sp.q * sp.q;
+}
+
+LinialResult linial_color(const Graph& g, const IdMap& ids,
+                          std::uint64_t id_space) {
+  PADLOCK_REQUIRE(ids_valid(g, ids));
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    PADLOCK_REQUIRE(!g.is_self_loop(e));
+  const int delta = std::max(1, g.max_degree());
+  const auto n = g.num_nodes();
+
+  std::vector<std::uint64_t> color(n);
+  for (NodeId v = 0; v < n; ++v) {
+    PADLOCK_REQUIRE(ids[v] >= 1 && ids[v] <= id_space);
+    color[v] = ids[v] - 1;  // 0-based palette {0..id_space-1}
+  }
+  std::uint64_t K = id_space;
+
+  LinialResult result;
+  // Iterate while a step still shrinks the palette. Each loop iteration is
+  // one communication round (colors exchanged with neighbors).
+  while (linial_step_palette(K, delta) < K) {
+    const StepParams sp = step_params(K, delta);
+    std::vector<std::uint64_t> next(n);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto mine = poly_of(color[v], sp.q, sp.k);
+      // Pick the smallest evaluation point where my polynomial differs
+      // from every neighbor's; two distinct degree-k polynomials agree on
+      // <= k points, so <= k·Δ < q points are blocked in total.
+      std::uint64_t chosen = sp.q;  // sentinel
+      for (std::uint64_t x = 0; x < sp.q && chosen == sp.q; ++x) {
+        bool ok = true;
+        const std::uint64_t mine_at_x = eval_poly(mine, x, sp.q);
+        for (int p = 0; p < g.degree(v) && ok; ++p) {
+          const NodeId w = g.neighbor(v, p);
+          if (color[w] == color[v]) continue;  // parallel edge to self? no:
+          // equal colors on an edge cannot happen (proper invariant).
+          const auto theirs = poly_of(color[w], sp.q, sp.k);
+          if (eval_poly(theirs, x, sp.q) == mine_at_x) ok = false;
+        }
+        if (ok) chosen = x;
+      }
+      PADLOCK_ASSERT(chosen < sp.q);
+      next[v] = chosen * sp.q + eval_poly(mine, chosen, sp.q);
+    }
+    color = std::move(next);
+    K = sp.q * sp.q;
+    ++result.linial_rounds;
+    // Invariant: the coloring stays proper.
+  }
+
+  // Final reduction: schedule the K classes greedily down to Δ+1.
+  NodeMap<int> kcolors(g, 0);
+  for (NodeId v = 0; v < n; ++v)
+    kcolors[v] = static_cast<int>(color[v]) + 1;
+  const auto reduced =
+      reduce_to_degree_plus_one(g, kcolors, static_cast<int>(K));
+  result.colors = reduced.colors;
+  result.reduction_rounds = reduced.rounds;
+  return result;
+}
+
+}  // namespace padlock

@@ -1,0 +1,81 @@
+#include "algo/luby_mis.hpp"
+
+#include "local/message_engine.hpp"
+#include "support/rng.hpp"
+
+namespace padlock {
+
+namespace {
+
+enum class MisState : std::uint8_t { kUndecided, kIn, kOut };
+
+struct LubyAlg {
+  using Message = std::pair<std::uint64_t, std::uint64_t>;  // (prio, flag)
+
+  // flag semantics: in odd rounds the message carries (priority, id); in
+  // even rounds it carries (state == kIn, 0).
+  const Graph& g;
+  const IdMap& ids;
+  std::uint64_t seed;
+  std::vector<MisState> state;
+  std::vector<std::uint64_t> prio;
+
+  LubyAlg(const Graph& g_in, const IdMap& ids_in, std::uint64_t seed_in)
+      : g(g_in), ids(ids_in), seed(seed_in) {
+    state.assign(g.num_nodes(), MisState::kUndecided);
+    prio.assign(g.num_nodes(), 0);
+  }
+
+  std::optional<Message> send(NodeId v, int /*port*/, int round) {
+    if (round % 2 == 1) {
+      if (state[v] != MisState::kUndecided) return std::nullopt;
+      // Fresh randomness each iteration, derived deterministically.
+      Rng rng(per_node_seed(seed ^ static_cast<std::uint64_t>(round),
+                            ids[v]));
+      prio[v] = rng();
+      return Message{prio[v], ids[v]};
+    }
+    return Message{state[v] == MisState::kIn ? 1 : 0, 0};
+  }
+
+  void step(NodeId v, std::span<const std::optional<Message>> inbox,
+            int round) {
+    if (state[v] != MisState::kUndecided) return;
+    if (round % 2 == 1) {
+      // Join if strictly minimal among undecided neighbors (ties by id).
+      for (const auto& m : inbox) {
+        if (!m) continue;
+        const auto [p, id] = *m;
+        if (std::pair(p, id) < std::pair(prio[v], ids[v])) return;
+        PADLOCK_ASSERT(id != ids[v]);
+      }
+      state[v] = MisState::kIn;
+    } else {
+      for (const auto& m : inbox) {
+        if (m && m->first == 1) {
+          state[v] = MisState::kOut;
+          return;
+        }
+      }
+    }
+  }
+
+  bool done(NodeId v) const { return state[v] != MisState::kUndecided; }
+};
+
+}  // namespace
+
+MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed) {
+  PADLOCK_REQUIRE(ids_valid(g, ids));
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    PADLOCK_REQUIRE(!g.is_self_loop(e));
+  LubyAlg alg(g, ids, seed);
+  const int max_rounds = 64 * (2 + static_cast<int>(g.num_nodes()));
+  const int rounds = run_message_rounds(g, alg, max_rounds);
+  MisResult result{NodeMap<bool>(g, false), rounds};
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    result.in_set[v] = alg.state[v] == MisState::kIn;
+  return result;
+}
+
+}  // namespace padlock

@@ -1,0 +1,143 @@
+#include "algo/matching.hpp"
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace padlock {
+
+namespace {
+
+/// Counts non-loop incident edges to unmatched neighbors and returns the
+/// ports of those candidates.
+std::vector<int> candidate_ports(const Graph& g, NodeId v,
+                                 const NodeMap<bool>& matched) {
+  std::vector<int> ports;
+  for (int p = 0; p < g.degree(v); ++p) {
+    const HalfEdge h = g.incidence(v, p);
+    if (g.is_self_loop(h.edge)) continue;
+    if (!matched[g.node_across(h)]) ports.push_back(p);
+  }
+  return ports;
+}
+
+}  // namespace
+
+MatchingResult randomized_matching(const Graph& g, const IdMap& ids,
+                                   std::uint64_t seed) {
+  PADLOCK_REQUIRE(ids_valid(g, ids));
+  MatchingResult result{EdgeMap<bool>(g, false), 0};
+  NodeMap<bool> matched(g, false);
+
+  // A node retires once no unmatched non-loop neighbor remains.
+  auto live = [&](NodeId v) {
+    return !matched[v] && !candidate_ports(g, v, matched).empty();
+  };
+
+  int iter = 0;
+  while (true) {
+    bool any_live = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (live(v)) {
+        any_live = true;
+        break;
+      }
+    if (!any_live) break;
+    ++iter;
+    PADLOCK_REQUIRE(iter < 64 * (2 + static_cast<int>(g.num_nodes())));
+
+    // Round 1: proposals. proposal[v] = the edge v proposes along.
+    NodeMap<EdgeId> proposal(g, kNoEdge);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (matched[v]) continue;
+      const auto ports = candidate_ports(g, v, matched);
+      if (ports.empty()) continue;
+      Rng rng(per_node_seed(seed ^ static_cast<std::uint64_t>(iter), ids[v]));
+      proposal[v] = g.incidence(v, ports[rng.below(ports.size())]).edge;
+    }
+    // Round 2: acceptance. Each unmatched node picks the incoming proposal
+    // with the smallest proposer id and the pair matches.
+    std::vector<std::pair<NodeId, EdgeId>> accepted;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (matched[v]) continue;
+      EdgeId best = kNoEdge;
+      std::uint64_t best_id = 0;
+      for (int p = 0; p < g.degree(v); ++p) {
+        const HalfEdge h = g.incidence(v, p);
+        if (g.is_self_loop(h.edge)) continue;
+        const NodeId u = g.node_across(h);
+        if (proposal[u] != h.edge) continue;  // u proposed elsewhere
+        if (best == kNoEdge || ids[u] < best_id) {
+          best = h.edge;
+          best_id = ids[u];
+        }
+      }
+      if (best != kNoEdge) accepted.emplace_back(v, best);
+    }
+    // Commit: an edge is matched iff the acceptor accepted the proposer and
+    // neither endpoint got matched through another acceptance this round.
+    // Acceptances can collide only at the proposer (one proposal per node,
+    // one acceptance per node), so process acceptor-side first-come by id.
+    for (auto [v, e] : accepted) {
+      const NodeId u = g.endpoint(e, 0) == v ? g.endpoint(e, 1)
+                                             : g.endpoint(e, 0);
+      if (matched[v] || matched[u]) continue;
+      result.in_match[e] = true;
+      matched[v] = true;
+      matched[u] = true;
+    }
+    result.rounds += 2;
+  }
+  return result;
+}
+
+MatchingResult matching_from_coloring(const Graph& g,
+                                      const NodeMap<int>& colors,
+                                      int num_colors) {
+  PADLOCK_REQUIRE(colors.size() == g.num_nodes());
+  MatchingResult result{EdgeMap<bool>(g, false), 0};
+  NodeMap<bool> matched(g, false);
+  // Color classes take turns; a class member grabs its lowest-port free
+  // edge (propose) and the target accepts the smallest-id proposer — two
+  // rounds per class. Two same-class grabbers may target the same node, so
+  // a loser's edge is covered (the target got matched) but the loser itself
+  // may stay free with other free neighbors; each extra pass shrinks every
+  // such node's candidate set by >= 1, so at most Δ passes are needed.
+  auto has_free_free_edge = [&] {
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (!g.is_self_loop(e) && !matched[g.endpoint(e, 0)] &&
+          !matched[g.endpoint(e, 1)])
+        return true;
+    return false;
+  };
+  int pass = 0;
+  while (has_free_free_edge()) {
+    PADLOCK_REQUIRE(pass++ <= g.max_degree() + 1);
+    for (int c = 1; c <= num_colors; ++c) {
+      std::vector<std::pair<NodeId, EdgeId>> grabs;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (colors[v] != c || matched[v]) continue;
+        for (int p = 0; p < g.degree(v); ++p) {
+          const HalfEdge h = g.incidence(v, p);
+          if (g.is_self_loop(h.edge)) continue;
+          if (!matched[g.node_across(h)]) {
+            grabs.emplace_back(v, h.edge);
+            break;
+          }
+        }
+      }
+      for (auto [v, e] : grabs) {
+        const NodeId u = g.endpoint(e, 0) == v ? g.endpoint(e, 1)
+                                               : g.endpoint(e, 0);
+        if (matched[v] || matched[u]) continue;
+        result.in_match[e] = true;
+        matched[v] = true;
+        matched[u] = true;
+      }
+      result.rounds += 2;
+    }
+  }
+  return result;
+}
+
+}  // namespace padlock

@@ -1,0 +1,37 @@
+// Maximal matching algorithms.
+//
+//  * randomized_matching: Israeli–Itai-style propose/accept — each iteration
+//    (two communication rounds) every unmatched node proposes along a random
+//    incident edge to an unmatched neighbor; proposal targets accept one
+//    proposer. O(log n) rounds w.h.p.
+//
+//  * matching_from_coloring: deterministic reduction — given a proper
+//    k-coloring, color classes take turns greedily grabbing an incident free
+//    edge (lowest port first); k iterations. Combined with Cole–Vishkin this
+//    gives the classic O(log* n) matching on cycles.
+//
+// Self-loops are never matched (they cannot be: both halves are the same
+// node); parallel edges are fine.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+#include "local/ids.hpp"
+
+namespace padlock {
+
+struct MatchingResult {
+  EdgeMap<bool> in_match;
+  int rounds = 0;
+};
+
+MatchingResult randomized_matching(const Graph& g, const IdMap& ids,
+                                   std::uint64_t seed);
+
+MatchingResult matching_from_coloring(const Graph& g,
+                                      const NodeMap<int>& colors,
+                                      int num_colors);
+
+}  // namespace padlock

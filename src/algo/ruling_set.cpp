@@ -1,0 +1,116 @@
+#include "algo/ruling_set.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graph/metrics.hpp"
+#include "support/check.hpp"
+
+namespace padlock {
+
+namespace {
+
+int id_bits(std::uint64_t id_space) {
+  int b = 0;
+  while (id_space > 0) {
+    ++b;
+    id_space >>= 1;
+  }
+  return std::max(b, 1);
+}
+
+// True iff some node of `a` is within distance < 2 of v, i.e. v itself or a
+// neighbor of v is in `a`. (Distance-2 independence filter of AGLP.)
+bool near_set(const Graph& g, const NodeMap<bool>& a, NodeId v) {
+  if (a[v]) return true;
+  for (int p = 0; p < g.degree(v); ++p) {
+    if (a[g.neighbor(v, p)]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RulingSetResult ruling_set_aglp(const Graph& g, const IdMap& ids,
+                                std::uint64_t id_space) {
+  PADLOCK_REQUIRE(ids_valid(g, ids));
+  const std::size_t n = g.num_nodes();
+  const int bits = id_bits(id_space);
+
+  RulingSetResult res;
+  res.in_set = NodeMap<bool>(n, false);
+  if (n == 0) return res;
+
+  // Recursion unrolled bottom-up over bit positions: at level k (from the
+  // lowest bit upwards) every id-prefix class holds a ruling set of the
+  // subgraph induced by that class; merging two sibling classes keeps the
+  // 0-side set and filters the 1-side set against it. All classes at one
+  // level merge in parallel, costing 2 rounds (see the header).
+  //
+  // Level 0: every node is in the ruling set of its singleton id class.
+  NodeMap<bool> in_set(n, true);
+
+  for (int k = 0; k < bits; ++k) {
+    // Sibling classes at level k share id bits above position k; the bit at
+    // position k says which side a node is on.
+    NodeMap<bool> next(n, false);
+    // 0-side survivors carry over unconditionally.
+    for (NodeId v = 0; v < n; ++v) {
+      if (in_set[v] && ((ids[v] >> k) & 1u) == 0) next[v] = true;
+    }
+    // 1-side survivors stay iff no 0-side survivor *of the same prefix
+    // class* is within distance 1 of them. The prefix comparison makes the
+    // merge local: a neighbor from a different class never interferes.
+    for (NodeId v = 0; v < n; ++v) {
+      if (!in_set[v] || ((ids[v] >> k) & 1u) == 0) continue;
+      const std::uint64_t prefix = ids[v] >> (k + 1);
+      bool blocked = false;
+      if (next[v]) blocked = true;  // cannot happen (v is 1-side) — safety
+      for (int p = 0; p < g.degree(v) && !blocked; ++p) {
+        const NodeId u = g.neighbor(v, p);
+        if (next[u] && (ids[u] >> (k + 1)) == prefix) blocked = true;
+      }
+      if (!blocked) next[v] = true;
+    }
+    in_set = std::move(next);
+  }
+
+  res.in_set = std::move(in_set);
+  res.rounds = 2 * bits;
+  res.domination_radius = ruling_set_domination(g, res.in_set);
+  return res;
+}
+
+bool ruling_set_independent(const Graph& g, const NodeMap<bool>& set,
+                            int alpha) {
+  const std::size_t n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (!set[v]) continue;
+    // BFS to depth alpha-1: no other set node may appear.
+    const NodeMap<int> dist = bfs_distances(g, v);
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == v || !set[u]) continue;
+      if (dist[u] != kUnreachable && dist[u] < alpha) return false;
+    }
+  }
+  return true;
+}
+
+int ruling_set_domination(const Graph& g, const NodeMap<bool>& set) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < n; ++v) {
+    if (set[v]) sources.push_back(v);
+  }
+  if (sources.empty()) return n == 0 ? 0 : kUnreachable;
+  const NodeMap<int> dist = bfs_distances(g, sources);
+  int worst = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (dist[v] == kUnreachable) return kUnreachable;
+    worst = std::max(worst, dist[v]);
+  }
+  return worst;
+}
+
+}  // namespace padlock

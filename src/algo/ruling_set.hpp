@@ -1,0 +1,54 @@
+// Ruling sets — the symmetry-breaking primitive behind deterministic
+// network decompositions (the object the paper's Discussion connects to the
+// open D(n)/R(n) question).
+//
+// An (α, β)-ruling set of G is a set R ⊆ V with
+//   * independence: any two distinct nodes of R are at distance >= α, and
+//   * domination:   every node of V is at distance <= β from R.
+//
+// We implement the classic Awerbuch–Goldberg–Luby–Plotkin bit-splitting
+// construction: with ids from {1..id_space} (b = ceil(log2 id_space) bits),
+// split V by the highest id bit, recurse on both halves in parallel, and
+// keep from the second half's ruling set only the nodes at distance >= 2
+// from the first half's set. This yields a (2, b)-ruling set; every level
+// of the recursion costs 2 rounds of distance checking, so the LOCAL
+// complexity is O(b) = O(log n).
+//
+// For comparison, any maximal independent set is a (2, 1)-ruling set (Luby
+// gives one in O(log n) randomized rounds); the bit-splitting set trades
+// domination radius for determinism.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+#include "local/ids.hpp"
+
+namespace padlock {
+
+struct RulingSetResult {
+  NodeMap<bool> in_set;
+  int rounds = 0;
+  /// Measured max over nodes of distance to the set (the β realized on this
+  /// instance; at most 2 * id-bits by the AGLP argument — each merge level
+  /// can push the nearest set node two hops further away).
+  int domination_radius = 0;
+};
+
+/// Deterministic (2, O(log id_space))-ruling set by AGLP bit splitting.
+/// `id_space` is the upper end of the id range the schedule is planned for
+/// (ids must satisfy 1 <= id <= id_space).
+RulingSetResult ruling_set_aglp(const Graph& g, const IdMap& ids,
+                                std::uint64_t id_space);
+
+/// Independence check: true iff all pairwise distances within `set` are
+/// >= alpha. O(|R| * m).
+bool ruling_set_independent(const Graph& g, const NodeMap<bool>& set,
+                            int alpha);
+
+/// Max over nodes of the distance to the nearest set node; kUnreachable
+/// (-1) if some node cannot reach the set (e.g. a set-free component).
+int ruling_set_domination(const Graph& g, const NodeMap<bool>& set);
+
+}  // namespace padlock

@@ -1,0 +1,77 @@
+#include "algo/weak_color.hpp"
+
+#include <algorithm>
+
+#include "algo/linial.hpp"
+#include "support/check.hpp"
+
+namespace padlock {
+
+WeakColorResult weak_2color(const Graph& g, const IdMap& ids,
+                            std::uint64_t id_space) {
+  const std::size_t n = g.num_nodes();
+  WeakColorResult res;
+  res.colors = NodeMap<int>(n, 1);
+  if (n == 0) return res;
+
+  const LinialResult lin = linial_color(g, ids, id_space);
+  const int k = g.max_degree() + 1;
+
+  // Pointers toward a strictly smaller proper color; kNoNode marks sinks
+  // (local minima) and isolated nodes.
+  NodeMap<NodeId> pointee(n, kNoNode);
+  for (NodeId v = 0; v < n; ++v) {
+    int best = lin.colors[v];
+    for (int p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p);
+      PADLOCK_REQUIRE(u != v);  // loop-free required
+      if (lin.colors[u] < best) {
+        best = lin.colors[u];
+        pointee[v] = u;
+      }
+    }
+  }
+
+  // Chain lengths: iterate k times (chains strictly decrease the proper
+  // color, so they stabilize after < k+1 steps). In LOCAL terms each
+  // iteration is one round of forwarding the current value.
+  NodeMap<int> chain(n, 0);
+  for (int it = 0; it < k; ++it) {
+    NodeMap<int> next(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] = pointee[v] == kNoNode ? 0 : chain[pointee[v]] + 1;
+    }
+    chain = std::move(next);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    res.colors[v] = (chain[v] % 2 == 0) ? 1 : 2;
+    if (pointee[v] == kNoNode && g.degree(v) > 0) ++res.sinks;
+  }
+
+  // Repair round: an unhappy sink (every neighbor colored 1) flips to 2.
+  // Sinks are independent, and no flip orphans another node (see header).
+  NodeMap<int> repaired = res.colors;
+  for (NodeId v = 0; v < n; ++v) {
+    if (pointee[v] != kNoNode || g.degree(v) == 0) continue;
+    bool has_opposite = false;
+    for (int p = 0; p < g.degree(v); ++p) {
+      if (res.colors[g.neighbor(v, p)] != res.colors[v]) {
+        has_opposite = true;
+        break;
+      }
+    }
+    if (!has_opposite) {
+      repaired[v] = res.colors[v] == 1 ? 2 : 1;
+      ++res.repaired;
+    }
+  }
+  res.colors = std::move(repaired);
+
+  // Linial + one round to learn neighbor colors + k chain rounds + one
+  // repair round.
+  res.rounds = lin.total_rounds() + 1 + k + 1;
+  return res;
+}
+
+}  // namespace padlock

@@ -1,0 +1,40 @@
+// Weak 2-coloring in Θ(log* n) rounds — pointer-parity with an independent
+// repair round, in the spirit of Naor–Stockmeyer's weak-coloring
+// constructions.
+//
+//   1. Proper (Δ+1)-coloring via Linial, O(log* n) rounds.
+//   2. Every node whose neighborhood contains a smaller proper color
+//      points to a minimum-color neighbor; local minima are *sinks*.
+//      Pointer chains strictly decrease the proper color, so the chain
+//      length is < Δ+2 and computable in O(Δ) rounds; a node's weak color
+//      is the chain-length parity (even = 1, odd = 2).
+//   3. Every non-sink is happy: its pointee has opposite parity. Sinks are
+//      pairwise non-adjacent (adjacent local minima would violate proper
+//      coloring), and an unhappy sink (all neighbors even) flips to 2 in
+//      one repair round. Flips never orphan anyone: only color-1 nodes
+//      flip, a color-2 node's pointee has a color-2 neighbor (that very
+//      node) and so cannot be an unhappy sink, and happy nodes' witnesses
+//      are color-2 (for color-1 nodes) or such protected pointees.
+//
+// Requires a loop-free graph; nodes of degree 0 get color 1 (exempt).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+#include "local/ids.hpp"
+
+namespace padlock {
+
+struct WeakColorResult {
+  NodeMap<int> colors;  // in {1,2}
+  int rounds = 0;
+  int sinks = 0;          // local minima of the proper coloring
+  int repaired = 0;       // unhappy sinks flipped in step 3
+};
+
+WeakColorResult weak_2color(const Graph& g, const IdMap& ids,
+                            std::uint64_t id_space);
+
+}  // namespace padlock

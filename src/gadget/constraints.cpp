@@ -1,0 +1,258 @@
+#include "gadget/constraints.hpp"
+
+#include <unordered_set>
+
+namespace padlock {
+
+namespace {
+
+/// Local scope of one node: everything the constraints below may inspect.
+struct Scope {
+  const Graph& g;
+  const GadgetLabels& labels;
+  NodeId v;
+
+  [[nodiscard]] int half_at(int port) const {
+    return labels.half[g.incidence(v, port)];
+  }
+  [[nodiscard]] bool has(int label) const {
+    for (int p = 0; p < g.degree(v); ++p)
+      if (half_at(p) == label) return true;
+    return false;
+  }
+  [[nodiscard]] NodeId across(int label) const {
+    return follow_label(g, labels, v, label);
+  }
+};
+
+/// Follows a sequence of labels from v; kNoNode if any step is missing or
+/// ambiguous.
+NodeId walk(const Graph& g, const GadgetLabels& labels, NodeId v,
+            std::initializer_list<int> path) {
+  NodeId cur = v;
+  for (int l : path) {
+    if (cur == kNoNode) return kNoNode;
+    cur = follow_label(g, labels, cur, l);
+  }
+  return cur;
+}
+
+bool check_center(const Scope& s, std::string* why) {
+  auto fail = [&](const char* name) {
+    if (why != nullptr) *why = name;
+    return false;
+  };
+  const auto& [g, labels, v] = s;
+  if (labels.index[v] != 0 || labels.port[v] != 0)
+    return fail("center: carries Index/Port label");
+  // g2a: connected to exactly Δ nodes (with 1a this equals degree Δ).
+  if (g.degree(v) != labels.delta) return fail("g2a: center degree != delta");
+  std::unordered_set<int> seen_indices;
+  for (int p = 0; p < g.degree(v); ++p) {
+    const HalfEdge h = g.incidence(v, p);
+    const NodeId w = g.node_across(h);
+    const int lu = labels.half[h];
+    // g2b: the half label is Down_i for the neighbor's index i.
+    if (!is_down_label(lu) || down_index(lu) < 1 ||
+        down_index(lu) > labels.delta)
+      return fail("g2b: center half not a Down label");
+    if (labels.center[w]) return fail("g2b: center adjacent to center");
+    if (labels.index[w] != down_index(lu))
+      return fail("g2b: Down index != neighbor index");
+    // g2c: the far half is Up.
+    if (labels.half[Graph::opposite(h)] != kHalfUp)
+      return fail("g2c: far half of center edge not Up");
+    // g2d: pairwise distinct neighbor indices.
+    if (!seen_indices.insert(labels.index[w]).second)
+      return fail("g2d: duplicate sub-gadget index at center");
+  }
+  return true;
+}
+
+bool check_noncenter(const Scope& s, std::string* why) {
+  auto fail = [&](const char* name) {
+    if (why != nullptr) *why = name;
+    return false;
+  };
+  const auto& [g, labels, v] = s;
+  const int idx = labels.index[v];
+  // 1c (label domain): an Index in 1..Δ.
+  if (idx < 1 || idx > labels.delta) return fail("1c: missing/bad Index");
+  // 1d: Port_i implies i == Index.
+  if (labels.port[v] != 0 && labels.port[v] != idx)
+    return fail("1d: Port index != node Index");
+
+  const bool has_parent = s.has(kHalfParent);
+  const bool has_right = s.has(kHalfRight);
+  const bool has_left = s.has(kHalfLeft);
+  const bool has_lchild = s.has(kHalfLChild);
+  const bool has_rchild = s.has(kHalfRChild);
+  const bool has_up = s.has(kHalfUp);
+
+  int center_neighbors = 0;
+  for (int p = 0; p < g.degree(v); ++p) {
+    const HalfEdge h = g.incidence(v, p);
+    const NodeId w = g.node_across(h);
+    const int lu = labels.half[h];
+    const int lv = labels.half[Graph::opposite(h)];
+    // Half labels of non-center nodes come from the sub-gadget alphabet.
+    switch (lu) {
+      case kHalfParent:
+        // 2b: Parent faces LChild or RChild.
+        if (lv != kHalfLChild && lv != kHalfRChild)
+          return fail("2b: Parent not facing LChild/RChild");
+        break;
+      case kHalfRight:
+        if (lv != kHalfLeft) return fail("2a: Right not facing Left");
+        break;
+      case kHalfLeft:
+        if (lv != kHalfRight) return fail("2a: Left not facing Right");
+        break;
+      case kHalfLChild:
+      case kHalfRChild:
+        if (lv != kHalfParent) return fail("2b: Child not facing Parent");
+        break;
+      case kHalfUp:
+        // Up is legal only at a sub-gadget root; see header note.
+        if (has_parent) return fail("g1b: Up half at a non-root");
+        break;
+      default:
+        return fail("1b: illegal half label at non-center node");
+    }
+    if (labels.center[w]) {
+      ++center_neighbors;
+      if (lu != kHalfUp) return fail("1c: non-Up edge into the center");
+    } else if (lu != kHalfUp) {
+      // 1c: sub-gadget neighbors share the Index.
+      if (labels.index[w] != idx) return fail("1c: neighbor Index differs");
+    } else {
+      // Up must lead to the center (part of g1's "one neighbor labeled
+      // Center"; a root with an Up edge to a non-center fails here).
+      return fail("g1: Up edge not leading to a Center");
+    }
+  }
+
+  // 1a: no self-loops or parallel edges.
+  {
+    std::unordered_set<NodeId> seen;
+    for (int p = 0; p < g.degree(v); ++p) {
+      const NodeId w = g.neighbor(v, p);
+      if (w == v) return fail("1a: self-loop");
+      if (!seen.insert(w).second) return fail("1a: parallel edge");
+    }
+  }
+  // 1b: incident half labels pairwise distinct.
+  {
+    std::unordered_set<int> seen;
+    for (int p = 0; p < g.degree(v); ++p)
+      if (!seen.insert(s.half_at(p)).second)
+        return fail("1b: duplicate half label");
+  }
+
+  // 2c: u(LChild, Right, Parent) == u when the path exists.
+  {
+    const NodeId t = walk(g, labels, v, {kHalfLChild, kHalfRight, kHalfParent});
+    if (t != kNoNode && t != v) return fail("2c: LChild/Right/Parent != u");
+  }
+  // 2d: u(Right, LChild, Left, Parent) == u when the path exists.
+  {
+    const NodeId t =
+        walk(g, labels, v, {kHalfRight, kHalfLChild, kHalfLeft, kHalfParent});
+    if (t != kNoNode && t != v) return fail("2d: Right/LChild/Left/Parent != u");
+  }
+
+  // 3a/3b: boundary flags propagate along the child structure. Note: the
+  // paper states these for u and u(Parent) unconditionally, but a valid
+  // sub-gadget violates that reading (the node left of the right boundary
+  // has a Right edge while its parent, the boundary, does not). The reading
+  // that makes valid gadgets pass and Lemma 7's wrap-around argument work
+  // binds each child through its type: an RChild and its parent agree on
+  // having Right, an LChild and its parent agree on having Left.
+  for (int p = 0; p < g.degree(v); ++p) {
+    const HalfEdge h = g.incidence(v, p);
+    if (labels.half[h] != kHalfParent) continue;
+    const NodeId par = g.node_across(h);
+    if (labels.center[par]) continue;
+    const Scope ps{g, labels, par};
+    const int far = labels.half[Graph::opposite(h)];
+    if (far == kHalfRChild && has_right != ps.has(kHalfRight))
+      return fail("3a: Right boundary broken along RChild edge");
+    if (far == kHalfLChild && has_left != ps.has(kHalfLeft))
+      return fail("3b: Left boundary broken along LChild edge");
+  }
+  // 3c/3d: a child on the right (left) boundary hangs off an RChild
+  // (LChild) half of its parent.
+  if (!has_right && has_parent) {
+    for (int p = 0; p < g.degree(v); ++p) {
+      const HalfEdge h = g.incidence(v, p);
+      if (labels.half[h] == kHalfParent &&
+          labels.half[Graph::opposite(h)] != kHalfRChild)
+        return fail("3c: right-boundary child not an RChild");
+    }
+  }
+  if (!has_left && has_parent) {
+    for (int p = 0; p < g.degree(v); ++p) {
+      const HalfEdge h = g.incidence(v, p);
+      if (labels.half[h] == kHalfParent &&
+          labels.half[Graph::opposite(h)] != kHalfLChild)
+        return fail("3d: left-boundary child not an LChild");
+    }
+  }
+  // 3e: no Left and no Right => the sub-gadget root: exactly the halves
+  // {LChild, RChild, Up}.
+  if (!has_right && !has_left) {
+    if (g.degree(v) != 3 || !has_lchild || !has_rchild || !has_up)
+      return fail("3e: rootless/ill-formed apex");
+  }
+  // 3f: children come in pairs.
+  if (has_lchild != has_rchild) return fail("3f: single child");
+  // 3g: the bottom boundary is horizontal.
+  if (!has_lchild && !has_rchild) {
+    for (const int side : {kHalfLeft, kHalfRight}) {
+      const NodeId w = s.across(side);
+      if (w == kNoNode || labels.center[w]) continue;
+      const Scope ws{g, labels, w};
+      if (ws.has(kHalfLChild) || ws.has(kHalfRChild))
+        return fail("3g: bottom boundary not level");
+    }
+  }
+  // 3h: ports are exactly the bottom-right nodes.
+  const bool looks_port = !has_right && !has_lchild && !has_rchild;
+  if ((labels.port[v] != 0) != looks_port)
+    return fail("3h: Port flag vs bottom-right shape");
+
+  // g1: a root (no Parent) has exactly one neighbor labeled Center.
+  if (!has_parent && center_neighbors != 1)
+    return fail("g1: root without exactly one Center neighbor");
+  if (has_parent && center_neighbors != 0)
+    return fail("g1: interior node adjacent to the Center");
+
+  return true;
+}
+
+}  // namespace
+
+bool node_structure_ok(const Graph& g, const GadgetLabels& labels, NodeId v,
+                       std::string* why) {
+  const Scope s{g, labels, v};
+  if (labels.center[v]) return check_center(s, why);
+  return check_noncenter(s, why);
+}
+
+StructureReport check_gadget_structure(const Graph& g,
+                                       const GadgetLabels& labels,
+                                       std::size_t max_violations) {
+  StructureReport report{NodeMap<bool>(g, true), true, {}};
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::string why;
+    if (!node_structure_ok(g, labels, v, &why)) {
+      report.node_ok[v] = false;
+      report.all_ok = false;
+      if (report.violations.size() < max_violations)
+        report.violations.emplace_back(v, why);
+    }
+  }
+  return report;
+}
+
+}  // namespace padlock

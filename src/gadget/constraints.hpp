@@ -1,0 +1,39 @@
+// Local checkability of gadgets: the per-node structural constraints of
+// §4.2 (sub-gadget: 1a–1d, 2a–2d, 3a–3h) and §4.3 (gadget: root/center
+// constraints). Every check inspects a constant-radius neighborhood (the
+// deepest, 2d, walks 4 hops).
+//
+// Lemmas 7 and 8 of the paper state that these constraints *characterize*
+// valid gadgets: a labeled graph satisfies all of them at every node iff it
+// is a valid gadget. One clarification is needed to make Lemma 8's "no
+// edges between sub-gadgets" argument airtight for Up labels: an Up half is
+// only legal at a sub-gadget root (a node without a Parent edge) — without
+// this, two interior nodes of different sub-gadgets could be joined by an
+// Up/Up edge that no listed constraint inspects. The tests exercise this
+// case explicitly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gadget/gadget.hpp"
+
+namespace padlock {
+
+struct StructureReport {
+  NodeMap<bool> node_ok;
+  bool all_ok = true;
+  /// (node, constraint name) for the first few violations.
+  std::vector<std::pair<NodeId, std::string>> violations;
+};
+
+/// Evaluates every structural constraint at every node.
+StructureReport check_gadget_structure(const Graph& g,
+                                       const GadgetLabels& labels,
+                                       std::size_t max_violations = 32);
+
+/// Single-node evaluation; `why` (optional) receives the failed constraint.
+bool node_structure_ok(const Graph& g, const GadgetLabels& labels, NodeId v,
+                       std::string* why = nullptr);
+
+}  // namespace padlock

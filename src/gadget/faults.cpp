@@ -1,0 +1,215 @@
+#include "gadget/faults.hpp"
+
+#include "gadget/constraints.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace padlock {
+
+std::string fault_name(GadgetFault f) {
+  switch (f) {
+    case GadgetFault::kWrongIndex:
+      return "wrong-index";
+    case GadgetFault::kWrongPortFlag:
+      return "wrong-port-flag";
+    case GadgetFault::kDropPortFlag:
+      return "drop-port-flag";
+    case GadgetFault::kRelabelHalf:
+      return "relabel-half";
+    case GadgetFault::kSwapSiblings:
+      return "swap-siblings";
+    case GadgetFault::kAddParallelEdge:
+      return "add-parallel-edge";
+    case GadgetFault::kAddSelfLoop:
+      return "add-self-loop";
+    case GadgetFault::kCrossSubgadgetEdge:
+      return "cross-subgadget-edge";
+    case GadgetFault::kDetachRoot:
+      return "detach-root";
+    case GadgetFault::kShiftLevelEdge:
+      return "shift-level-edge";
+    case GadgetFault::kCenterIndexClash:
+      return "center-index-clash";
+  }
+  return "?";
+}
+
+std::vector<GadgetFault> all_gadget_faults() {
+  return {GadgetFault::kWrongIndex,        GadgetFault::kWrongPortFlag,
+          GadgetFault::kDropPortFlag,      GadgetFault::kRelabelHalf,
+          GadgetFault::kSwapSiblings,      GadgetFault::kAddParallelEdge,
+          GadgetFault::kAddSelfLoop,       GadgetFault::kCrossSubgadgetEdge,
+          GadgetFault::kDetachRoot,        GadgetFault::kShiftLevelEdge,
+          GadgetFault::kCenterIndexClash};
+}
+
+namespace {
+
+struct ExtraEdge {
+  NodeId u;
+  NodeId v;
+  int label_u;
+  int label_v;
+};
+
+/// Rebuilds the instance's graph with optionally redirected endpoints and
+/// appended extra edges; all labels carry over by edge id.
+GadgetInstance rebuild(const GadgetInstance& base,
+                       const std::vector<std::pair<EdgeId, std::pair<NodeId, NodeId>>>&
+                           redirect,
+                       const std::vector<ExtraEdge>& extra) {
+  const Graph& g = base.graph;
+  GraphBuilder b(g.num_nodes());
+  b.add_nodes(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto [u, v] = g.endpoints(e);
+    for (const auto& [re, ends] : redirect)
+      if (re == e) {
+        u = ends.first;
+        v = ends.second;
+      }
+    b.add_edge(u, v);
+  }
+  for (const auto& x : extra) b.add_edge(x.u, x.v);
+
+  GadgetInstance out;
+  out.graph = std::move(b).build();
+  out.center = base.center;
+  out.ports = base.ports;
+  out.height = base.height;
+  out.labels = GadgetLabels(out.graph);
+  out.labels.delta = base.labels.delta;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out.labels.index[v] = base.labels.index[v];
+    out.labels.port[v] = base.labels.port[v];
+    out.labels.center[v] = base.labels.center[v];
+    out.labels.vcolor[v] = base.labels.vcolor[v];
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    for (int side = 0; side < 2; ++side)
+      out.labels.half[HalfEdge{e, side}] = base.labels.half[HalfEdge{e, side}];
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    const auto e = static_cast<EdgeId>(g.num_edges() + i);
+    out.labels.half[HalfEdge{e, 0}] = extra[i].label_u;
+    out.labels.half[HalfEdge{e, 1}] = extra[i].label_v;
+  }
+  return out;
+}
+
+/// The node at heap position (level, x) of sub-gadget s (mirrors
+/// build_gadget's layout).
+NodeId node_at(const GadgetInstance& inst, int s, int level, std::size_t x) {
+  const std::size_t per_sub = (std::size_t{1} << inst.height) - 1;
+  const std::size_t offset = (std::size_t{1} << level) - 1 + x;
+  return static_cast<NodeId>(1 +
+                             static_cast<std::size_t>(s - 1) * per_sub +
+                             offset);
+}
+
+EdgeId edge_between(const Graph& g, NodeId u, NodeId v) {
+  for (int p = 0; p < g.degree(u); ++p) {
+    const HalfEdge h = g.incidence(u, p);
+    if (g.node_across(h) == v) return h.edge;
+  }
+  PADLOCK_ASSERT(false);
+  return kNoEdge;
+}
+
+}  // namespace
+
+GadgetInstance inject_fault(const GadgetInstance& base, GadgetFault fault,
+                            std::uint64_t seed) {
+  const int delta = base.labels.delta;
+  const int h = base.height;
+  PADLOCK_REQUIRE(h >= 3);
+  Rng rng(seed);
+  const int s = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(delta)));
+
+  GadgetInstance out = rebuild(base, {}, {});
+  switch (fault) {
+    case GadgetFault::kWrongIndex: {
+      const NodeId v = node_at(out, s, h - 1, 0);
+      out.labels.index[v] = delta >= 2 ? (out.labels.index[v] % delta) + 1 : 0;
+      break;
+    }
+    case GadgetFault::kWrongPortFlag: {
+      const NodeId root = node_at(out, s, 0, 0);
+      out.labels.port[root] = s;
+      break;
+    }
+    case GadgetFault::kDropPortFlag: {
+      out.labels.port[out.ports[static_cast<std::size_t>(s - 1)]] = 0;
+      break;
+    }
+    case GadgetFault::kRelabelHalf: {
+      const NodeId u = node_at(out, s, h - 1, 0);
+      const NodeId v = node_at(out, s, h - 1, 1);
+      const EdgeId e = edge_between(out.graph, u, v);
+      const int side = out.graph.endpoint(e, 0) == u ? 0 : 1;
+      out.labels.half[HalfEdge{e, side}] = kHalfLeft;  // Right -> Left
+      break;
+    }
+    case GadgetFault::kSwapSiblings: {
+      const NodeId parent = node_at(out, s, h - 2, 0);
+      const NodeId lc = node_at(out, s, h - 1, 0);
+      const NodeId rc = node_at(out, s, h - 1, 1);
+      const EdgeId el = edge_between(out.graph, parent, lc);
+      const EdgeId er = edge_between(out.graph, parent, rc);
+      const int sl = out.graph.endpoint(el, 0) == parent ? 0 : 1;
+      const int sr = out.graph.endpoint(er, 0) == parent ? 0 : 1;
+      out.labels.half[HalfEdge{el, sl}] = kHalfRChild;
+      out.labels.half[HalfEdge{er, sr}] = kHalfLChild;
+      break;
+    }
+    case GadgetFault::kAddParallelEdge: {
+      const NodeId u = node_at(out, s, h - 1, 0);
+      const NodeId v = node_at(out, s, h - 1, 1);
+      return rebuild(base, {}, {{u, v, kHalfRight, kHalfLeft}});
+    }
+    case GadgetFault::kAddSelfLoop: {
+      const NodeId u = node_at(out, s, h - 1, 1);
+      return rebuild(base, {}, {{u, u, kHalfRight, kHalfLeft}});
+    }
+    case GadgetFault::kCrossSubgadgetEdge: {
+      PADLOCK_REQUIRE(delta >= 2);
+      const int s2 = (s % delta) + 1;
+      const NodeId u = node_at(out, s, h - 1, 0);
+      const NodeId v = node_at(out, s2, h - 1, 0);
+      return rebuild(base, {}, {{u, v, kHalfUp, kHalfUp}});
+    }
+    case GadgetFault::kDetachRoot: {
+      const NodeId root = node_at(out, s, 0, 0);
+      const EdgeId e = edge_between(out.graph, root, out.center);
+      const int side = out.graph.endpoint(e, 0) == root ? 0 : 1;
+      out.labels.half[HalfEdge{e, side}] = kHalfParent;
+      break;
+    }
+    case GadgetFault::kShiftLevelEdge: {
+      const NodeId a = node_at(out, s, h - 1, 0);
+      const NodeId b2 = node_at(out, s, h - 1, 1);
+      const NodeId c = node_at(out, s, h - 1, 2);
+      const EdgeId e = edge_between(base.graph, a, b2);
+      // Rewire {a, b} to {a, c}: c now carries two Left halves (1b).
+      auto redirected = rebuild(
+          base, {{e, {base.graph.endpoint(e, 0) == a ? a : c,
+                      base.graph.endpoint(e, 0) == a ? c : a}}},
+          {});
+      return redirected;
+    }
+    case GadgetFault::kCenterIndexClash: {
+      PADLOCK_REQUIRE(delta >= 2);
+      const int s2 = (s % delta) + 1;
+      const std::size_t width = std::size_t{1} << (h - 1);
+      (void)width;
+      for (int level = 0; level < h; ++level) {
+        const std::size_t w = std::size_t{1} << level;
+        for (std::size_t x = 0; x < w; ++x)
+          out.labels.index[node_at(out, s2, level, x)] = s;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace padlock

@@ -1,0 +1,39 @@
+// Fault injection for gadgets: each fault produces an *invalid* gadget by
+// perturbing a valid one (relabeling, rewiring, degree surgery). Used by
+// tests and by the verifier bench (E2) to exercise every §4.2/§4.3
+// constraint family and the error-pointer machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gadget/gadget.hpp"
+
+namespace padlock {
+
+enum class GadgetFault {
+  kWrongIndex,        // flip one node's Index label (1c)
+  kWrongPortFlag,     // mark a non-bottom-right node as a port (3h)
+  kDropPortFlag,      // unmark the true port (3h)
+  kRelabelHalf,       // corrupt one structure half label (1b/2a/2b)
+  kSwapSiblings,      // swap LChild/RChild labels at one parent (3c/3d)
+  kAddParallelEdge,   // duplicate an existing edge (1a)
+  kAddSelfLoop,       // attach a self-loop (1a)
+  kCrossSubgadgetEdge,// join two sub-gadgets with an Up/Up edge (g1b)
+  kDetachRoot,        // relabel the root's Up half (g1/g2)
+  kShiftLevelEdge,    // rewire one horizontal edge one step over (2c/2d)
+  kCenterIndexClash,  // relabel a whole subtree's Index to a sibling's (g2d/1c)
+};
+
+std::string fault_name(GadgetFault f);
+
+/// All fault kinds, for parameterized tests.
+std::vector<GadgetFault> all_gadget_faults();
+
+/// Applies `fault` to a copy of `base` (seeded choice of the fault site).
+/// The result is guaranteed to violate at least one structural constraint.
+GadgetInstance inject_fault(const GadgetInstance& base, GadgetFault fault,
+                            std::uint64_t seed);
+
+}  // namespace padlock

@@ -1,0 +1,564 @@
+#include "gadget/ne_refinement.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "gadget/constraints.hpp"
+#include "gadget/verifier.hpp"
+
+namespace padlock {
+
+namespace {
+
+/// Structure labels tracked by the tri-state mask (Down labels are center
+/// business, covered by own-config checks).
+constexpr int kMaskLabels[] = {kHalfParent, kHalfRight,  kHalfLeft,
+                               kHalfLChild, kHalfRChild, kHalfUp};
+
+constexpr int mask_slot(int label) {
+  switch (label) {
+    case kHalfParent: return 0;
+    case kHalfRight: return 1;
+    case kHalfLeft: return 2;
+    case kHalfLChild: return 3;
+    case kHalfRChild: return 4;
+    case kHalfUp: return 5;
+    default: return -1;
+  }
+}
+
+const std::array<std::vector<int>, kNumClaimPaths>& claim_paths() {
+  static const std::array<std::vector<int>, kNumClaimPaths> paths = {
+      std::vector<int>{kHalfParent},
+      {kHalfRight, kHalfParent},
+      {kHalfLeft, kHalfParent},
+      {kHalfLChild, kHalfRight, kHalfParent},
+      {kHalfLChild, kHalfLeft, kHalfParent},
+      {kHalfRight, kHalfLChild, kHalfLeft, kHalfParent}};
+  return paths;
+}
+
+}  // namespace
+
+int claim_path_first_label(int path) { return claim_paths()[path].front(); }
+
+int claim_path_suffix(int path) {
+  switch (path) {
+    case kPRPar:
+    case kPLPar:
+      return kPPar;
+    case kPLcRPar:
+      return kPRPar;
+    case kPLcLPar:
+      return kPLPar;
+    case kPRLcLPar:
+      return kPLcLPar;
+    default:
+      return -1;
+  }
+}
+
+int mask_state(int mask, int label) {
+  const int slot = mask_slot(label);
+  PADLOCK_REQUIRE(slot >= 0);
+  return (mask >> (2 * slot)) & 3;
+}
+
+int make_mask(const Graph& g, const GadgetLabels& labels, NodeId v) {
+  int counts[6] = {0, 0, 0, 0, 0, 0};
+  for (int p = 0; p < g.degree(v); ++p) {
+    const int slot = mask_slot(labels.half[g.incidence(v, p)]);
+    if (slot >= 0 && counts[slot] < 2) ++counts[slot];
+  }
+  int mask = 0;
+  for (int slot = 0; slot < 6; ++slot) mask |= counts[slot] << (2 * slot);
+  return mask;
+}
+
+bool own_config_violated(const Graph& g, const GadgetLabels& labels,
+                         NodeId v) {
+  const int delta = labels.delta;
+  const bool center = labels.center[v];
+  // Label domain and multiplicity.
+  std::vector<int> seen;
+  for (int p = 0; p < g.degree(v); ++p) {
+    const int l = labels.half[g.incidence(v, p)];
+    if (std::find(seen.begin(), seen.end(), l) != seen.end()) return true;
+    seen.push_back(l);
+    if (center) {
+      if (!is_down_label(l) || down_index(l) < 1 || down_index(l) > delta)
+        return true;
+    } else {
+      switch (l) {
+        case kHalfParent:
+        case kHalfRight:
+        case kHalfLeft:
+        case kHalfLChild:
+        case kHalfRChild:
+          break;
+        case kHalfUp:
+          break;
+        default:
+          return true;  // Down labels or junk at a non-center node
+      }
+    }
+  }
+  if (center) {
+    if (labels.index[v] != 0 || labels.port[v] != 0) return true;
+    if (g.degree(v) != delta) return true;  // g2a
+    return false;
+  }
+  const auto has = [&](int l) {
+    return std::find(seen.begin(), seen.end(), l) != seen.end();
+  };
+  // 1c domain, 1d.
+  if (labels.index[v] < 1 || labels.index[v] > delta) return true;
+  if (labels.port[v] != 0 && labels.port[v] != labels.index[v]) return true;
+  // g1b: Up only at roots.
+  if (has(kHalfUp) && has(kHalfParent)) return true;
+  // 3e: apex shape.
+  if (!has(kHalfRight) && !has(kHalfLeft)) {
+    if (g.degree(v) != 3 || !has(kHalfLChild) || !has(kHalfRChild) ||
+        !has(kHalfUp))
+      return true;
+  }
+  // 3f.
+  if (has(kHalfLChild) != has(kHalfRChild)) return true;
+  // 3h.
+  const bool looks_port =
+      !has(kHalfRight) && !has(kHalfLChild) && !has(kHalfRChild);
+  if ((labels.port[v] != 0) != looks_port) return true;
+  return false;
+}
+
+bool edge_inputs_inconsistent(const Graph& g, const GadgetLabels& labels,
+                              EdgeId e) {
+  const NodeId u = g.endpoint(e, 0);
+  const NodeId v = g.endpoint(e, 1);
+  const int lu = labels.half[HalfEdge{e, 0}];
+  const int lv = labels.half[HalfEdge{e, 1}];
+  auto side_bad = [&](NodeId a, NodeId b, int la, int lb) {
+    const bool a_center = labels.center[a];
+    const bool b_center = labels.center[b];
+    if (a_center) {
+      // g2b/g2c: center halves are Down_i toward an Index_i node whose
+      // half is Up; centers are never adjacent.
+      if (!is_down_label(la)) return true;
+      if (b_center) return true;
+      if (labels.index[b] != down_index(la)) return true;
+      if (lb != kHalfUp) return true;
+      return false;
+    }
+    switch (la) {
+      case kHalfParent:
+        return lb != kHalfLChild && lb != kHalfRChild;  // 2b
+      case kHalfRight:
+        return lb != kHalfLeft;  // 2a
+      case kHalfLeft:
+        return lb != kHalfRight;  // 2a
+      case kHalfLChild:
+      case kHalfRChild:
+        return lb != kHalfParent;  // 2b
+      case kHalfUp:
+        // g1: Up leads to the center (whose side is checked above).
+        return !b_center;
+      default:
+        return true;  // Down/junk at a non-center side
+    }
+  };
+  if (side_bad(u, v, lu, lv) || side_bad(v, u, lv, lu)) return true;
+  // 1c: sub-gadget edges join equal indices.
+  if (!labels.center[u] && !labels.center[v] && lu != kHalfUp &&
+      lv != kHalfUp && labels.index[u] != labels.index[v])
+    return true;
+  return false;
+}
+
+namespace {
+
+/// Boundary violation visible from the two masks + the edge's inputs
+/// (constraints 3a/3b/3c/3d/3g). `mu`/`mv` are the *output* masks, which
+/// node constraints pin to reality.
+bool boundary_mismatch(int lu, int lv, int mu, int mv) {
+  auto has = [](int m, int l) { return mask_state(m, l) >= 1; };
+  // Child side of a Parent edge: u child, v parent.
+  auto parent_side_bad = [&](int lc, int mc, int lp, int mp) {
+    if (lc != kHalfParent) return false;
+    // 3a/3b in the child-typed reading (see constraints.cpp).
+    if (lp == kHalfRChild && has(mc, kHalfRight) != has(mp, kHalfRight))
+      return true;
+    if (lp == kHalfLChild && has(mc, kHalfLeft) != has(mp, kHalfLeft))
+      return true;
+    if (!has(mc, kHalfRight) && lp != kHalfRChild) return true;    // 3c
+    if (!has(mc, kHalfLeft) && lp != kHalfLChild) return true;     // 3d
+    return false;
+  };
+  if (parent_side_bad(lu, mu, lv, mv)) return true;
+  if (parent_side_bad(lv, mv, lu, mu)) return true;
+  // 3g: across a horizontal edge, a childless node's neighbor is childless.
+  auto childless = [&](int m) {
+    return !has(m, kHalfLChild) && !has(m, kHalfRChild);
+  };
+  if ((lu == kHalfLeft || lu == kHalfRight) && childless(mu) && !childless(mv))
+    return true;
+  if ((lv == kHalfLeft || lv == kHalfRight) && childless(mv) && !childless(mu))
+    return true;
+  return false;
+}
+
+bool is_error_kind(int kind) { return kind == kPsiError; }
+bool is_ok_kind(int kind) { return kind == kPsiOk; }
+
+/// Pointer transition table shared with Ψ (psi.cpp exposes the same rule
+/// through check_psi; restated here for edge-scoped checking).
+bool ptr_target_allowed(int via, int src_index, int target_kind) {
+  if (target_kind == kPsiError) return true;
+  if (!is_psi_pointer(target_kind)) return false;
+  const int t = psi_pointer_label(target_kind);
+  switch (via) {
+    case kHalfRight:
+      return t == kHalfRight;
+    case kHalfLeft:
+      return t == kHalfLeft;
+    case kHalfParent:
+      return t == kHalfParent || t == kHalfLeft || t == kHalfRight ||
+             t == kHalfUp;
+    case kHalfRChild:
+      return t == kHalfRChild || t == kHalfRight || t == kHalfLeft;
+    case kHalfUp:
+      return is_down_label(t) && down_index(t) != src_index;
+    default:
+      // Mirrors psi.cpp: 3f relaxed with Right/Left for adversarial Down
+      // targets; vacuous on valid gadgets (roots have no level edges).
+      if (is_down_label(via)) {
+        return t == kHalfRChild || t == kHalfRight || t == kHalfLeft;
+      }
+      return false;
+  }
+}
+
+}  // namespace
+
+PsiNeCheckResult check_psi_ne(const Graph& g, const GadgetLabels& labels,
+                              const PsiNeOutput& out,
+                              std::size_t max_violations) {
+  PsiNeCheckResult result;
+  auto violate = [&](NodeId v, std::string why) {
+    result.ok = false;
+    if (result.violations.size() < max_violations)
+      result.violations.emplace_back(v, std::move(why));
+  };
+
+  // ---- Node constraints ----
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int kind = out.kind[v];
+    // N1: the published mask is the node's actual tri-state label census.
+    if (out.mask[v] != make_mask(g, labels, v)) {
+      violate(v, "mask does not match own configuration");
+      continue;
+    }
+    // N2: claims along missing first labels are kNoClaim.
+    for (int p = 0; p < kNumClaimPaths; ++p) {
+      if (mask_state(out.mask[v], claim_path_first_label(p)) == 0 &&
+          out.claims[v][p] != kNoClaim)
+        violate(v, "claim along a missing label");
+    }
+    // N3: kind domain; pointers name an existing half label.
+    if (is_psi_pointer(kind)) {
+      const int l = psi_pointer_label(kind);
+      if (labels.center[v]) {
+        if (!is_down_label(l)) violate(v, "center pointer must be Down_i");
+        // must own such a half
+        bool found = false;
+        for (int p = 0; p < g.degree(v); ++p)
+          found |= labels.half[g.incidence(v, p)] == l;
+        if (!found) violate(v, "pointer along missing Down half");
+      } else {
+        if (mask_slot(l) < 0 || mask_state(out.mask[v], l) != 1)
+          violate(v, "pointer along missing/ambiguous half");
+      }
+    } else if (kind != kPsiOk && kind != kPsiError) {
+      violate(v, "unknown kind");
+    }
+    // N4: a node whose own configuration is provably bad cannot claim Ok or
+    // route a pointer — it must output Error.
+    if (own_config_violated(g, labels, v) && kind != kPsiError)
+      violate(v, "own-config violation without Error output");
+    // N5: chain-claim coherence. A non-witnessing node's 2c/2d claims must
+    // be "none or self"; the chain witnesses require the opposite.
+    const int c2c = out.claims[v][kPLcRPar];
+    const int c2d = out.claims[v][kPRLcLPar];
+    const int self_color = labels.vcolor[v];
+    const int wit = out.witness[v];
+    if (wit == kWChain2c && (c2c == kNoClaim || c2c == self_color))
+      violate(v, "2c witness without a divergent claim");
+    if (wit == kWChain2d && (c2d == kNoClaim || c2d == self_color))
+      violate(v, "2d witness without a divergent claim");
+    // A divergent claim is itself a proof of violation: the node must be in
+    // the Error regime (any witness), never Ok or a pointer.
+    if ((c2c != kNoClaim && c2c != self_color) ||
+        (c2d != kNoClaim && c2d != self_color)) {
+      if (kind != kPsiError) violate(v, "divergent claim without Error");
+    }
+    // N6: witness shape.
+    if (kind != kPsiError && wit != kWNone) violate(v, "witness without Error");
+    int color_marks = 0, edge_marks = 0, boundary_marks = 0;
+    int nocenter_marks = 0, centerpair_marks = 0;
+    int mark_color = 0;
+    bool mark_colors_equal = true;
+    bool has_parent_half = false;
+    for (int p = 0; p < g.degree(v); ++p) {
+      if (labels.half[g.incidence(v, p)] == kHalfParent)
+        has_parent_half = true;
+      const int m = out.mark[g.incidence(v, p)];
+      if (m == kMarkNone) continue;
+      if (m == kMarkEdge) {
+        ++edge_marks;
+      } else if (m == kMarkBoundary) {
+        ++boundary_marks;
+      } else if (m == kMarkNoCenter) {
+        ++nocenter_marks;
+      } else if (m == kMarkCenterPair) {
+        ++centerpair_marks;
+      } else if (m > 0) {
+        ++color_marks;
+        if (mark_color == 0) mark_color = m;
+        mark_colors_equal &= (m == mark_color);
+      } else {
+        violate(v, "unknown mark");
+      }
+    }
+    switch (wit) {
+      case kWNone:
+      case kWSelf:
+      case kWChain2c:
+      case kWChain2d:
+        if (color_marks + edge_marks + boundary_marks + nocenter_marks +
+                centerpair_marks !=
+            0)
+          violate(v, "marks without a marking witness");
+        if (wit == kWSelf && !own_config_violated(g, labels, v))
+          violate(v, "WSelf at a clean configuration");
+        break;
+      case kWColorPair:
+        if (color_marks != 2 || !mark_colors_equal || edge_marks != 0 ||
+            boundary_marks != 0 || nocenter_marks + centerpair_marks != 0)
+          violate(v, "WColorPair needs exactly two equal color marks");
+        break;
+      case kWEdge:
+        if (edge_marks != 1 || color_marks != 0 || boundary_marks != 0 ||
+            nocenter_marks + centerpair_marks != 0)
+          violate(v, "WEdge needs exactly one edge mark");
+        break;
+      case kWBoundary:
+        if (boundary_marks != 1 || color_marks != 0 || edge_marks != 0 ||
+            nocenter_marks + centerpair_marks != 0)
+          violate(v, "WBoundary needs exactly one boundary mark");
+        break;
+      case kWCenterNone:
+        // g1, zero-Center-neighbors mode: a non-center, Parent-less node
+        // marks *every* half as leading away from a Center.
+        if (labels.center[v] || has_parent_half)
+          violate(v, "WCenterNone at a center or parented node");
+        if (nocenter_marks != g.degree(v) ||
+            color_marks + edge_marks + boundary_marks + centerpair_marks != 0)
+          violate(v, "WCenterNone must mark every half");
+        break;
+      case kWCenterPair:
+        // g1, too-many-Centers mode: two Center neighbors while
+        // Parent-less, or one while parented.
+        if (labels.center[v]) violate(v, "WCenterPair at a center");
+        if (centerpair_marks != (has_parent_half ? 1 : 2) ||
+            color_marks + edge_marks + boundary_marks + nocenter_marks != 0)
+          violate(v, "WCenterPair mark count mismatch");
+        break;
+      default:
+        violate(v, "unknown witness");
+    }
+  }
+
+  // ---- Edge constraints ----
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId u = g.endpoint(e, 0);
+    const NodeId v = g.endpoint(e, 1);
+    const bool inconsistent = edge_inputs_inconsistent(g, labels, e);
+
+    for (int side = 0; side < 2; ++side) {
+      const NodeId a = g.endpoint(e, side);
+      const NodeId b = g.endpoint(e, 1 - side);
+      const int la = labels.half[HalfEdge{e, side}];
+      // E1: claim transitivity where the step is unambiguous.
+      if (!labels.center[a] && mask_slot(la) >= 0 &&
+          mask_state(out.mask[a], la) == 1) {
+        for (int p = 0; p < kNumClaimPaths; ++p) {
+          if (claim_path_first_label(p) != la) continue;
+          const int suffix = claim_path_suffix(p);
+          const int expect = (suffix < 0) ? labels.vcolor[b]
+                                          : out.claims[b][suffix];
+          if (out.claims[a][p] != expect)
+            violate(a, "claim transitivity broken");
+        }
+      }
+      // E2: pointer transitions.
+      if (is_psi_pointer(out.kind[a]) &&
+          psi_pointer_label(out.kind[a]) == la) {
+        if (!ptr_target_allowed(la, labels.index[a], out.kind[b]))
+          violate(a, "pointer chain broken");
+      }
+      // E3: marks.
+      const int m = out.mark[HalfEdge{e, side}];
+      if (m > 0 && labels.vcolor[b] != m)
+        violate(a, "color mark does not match far color");
+      if (m == kMarkEdge) {
+        if (!inconsistent) violate(a, "edge mark on a consistent edge");
+        if (out.kind[a] != kPsiError) violate(a, "edge mark without Error");
+      }
+      if (m == kMarkNoCenter && labels.center[b])
+        violate(a, "no-center mark leading to a Center");
+      if (m == kMarkCenterPair && !labels.center[b])
+        violate(a, "center-pair mark leading to a non-Center");
+      if (m == kMarkBoundary) {
+        const int lb = labels.half[HalfEdge{e, 1 - side}];
+        if (!boundary_mismatch(la, lb, out.mask[a], out.mask[b]))
+          violate(a, "boundary mark without mismatch");
+        if (out.kind[a] != kPsiError)
+          violate(a, "boundary mark without Error");
+      }
+    }
+    // E4: a provably inconsistent edge forbids Ok at both ends.
+    if (inconsistent && (is_ok_kind(out.kind[u]) || is_ok_kind(out.kind[v])))
+      violate(u, "Ok endpoint on an inconsistent edge");
+    // E5: all-or-nothing shape, as in Ψ.
+    if (is_ok_kind(out.kind[u]) != is_ok_kind(out.kind[v]))
+      violate(u, "Ok bordering an error label");
+    (void)is_error_kind;
+  }
+  return result;
+}
+
+NeVerifierResult run_gadget_verifier_ne(const Graph& g,
+                                        const GadgetLabels& labels) {
+  const auto base = run_gadget_verifier(g, labels);
+  NeVerifierResult result{PsiNeOutput(g), base.report, base.found_error};
+
+  // Masks and claims are mechanical.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.output.mask[v] = make_mask(g, labels, v);
+    for (int p = 0; p < kNumClaimPaths; ++p) {
+      // Walk the path; claims are truthful where unambiguous.
+      NodeId cur = v;
+      bool okwalk = true;
+      for (int l : claim_paths()[p]) {
+        if (labels.center[cur]) {
+          okwalk = false;
+          break;
+        }
+        const NodeId next = follow_label(g, labels, cur, l);
+        if (next == kNoNode) {
+          okwalk = false;
+          break;
+        }
+        cur = next;
+      }
+      result.output.claims[v][p] = okwalk ? labels.vcolor[cur] : kNoClaim;
+    }
+  }
+
+  // Kinds + witness selection.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.output.kind[v] = base.output[v];
+    if (base.output[v] != kPsiError) continue;
+    // Witness order mirrors the constraint families.
+    if (own_config_violated(g, labels, v)) {
+      result.output.witness[v] = kWSelf;
+      continue;
+    }
+    // Two ports to equally colored endpoints (covers loops and parallels,
+    // and invalid colorings).
+    {
+      bool placed = false;
+      for (int p = 0; p < g.degree(v) && !placed; ++p)
+        for (int q = p + 1; q < g.degree(v) && !placed; ++q) {
+          const HalfEdge hp = g.incidence(v, p);
+          const HalfEdge hq = g.incidence(v, q);
+          const int cp = labels.vcolor[g.node_across(hp)];
+          if (cp != labels.vcolor[g.node_across(hq)]) continue;
+          result.output.witness[v] = kWColorPair;
+          result.output.mark[hp] = cp;
+          result.output.mark[hq] = cp;
+          placed = true;
+        }
+      if (placed) continue;
+    }
+    // An inconsistent incident edge.
+    {
+      bool placed = false;
+      for (int p = 0; p < g.degree(v) && !placed; ++p) {
+        const HalfEdge h = g.incidence(v, p);
+        if (edge_inputs_inconsistent(g, labels, h.edge)) {
+          result.output.witness[v] = kWEdge;
+          result.output.mark[h] = kMarkEdge;
+          placed = true;
+        }
+      }
+      if (placed) continue;
+    }
+    // A boundary mismatch.
+    {
+      bool placed = false;
+      for (int p = 0; p < g.degree(v) && !placed; ++p) {
+        const HalfEdge h = g.incidence(v, p);
+        const HalfEdge o = Graph::opposite(h);
+        const NodeId w = g.node_across(h);
+        if (boundary_mismatch(labels.half[h], labels.half[o],
+                              make_mask(g, labels, v),
+                              make_mask(g, labels, w))) {
+          result.output.witness[v] = kWBoundary;
+          result.output.mark[h] = kMarkBoundary;
+          placed = true;
+        }
+      }
+      if (placed) continue;
+    }
+    // Path-identity witnesses.
+    if (result.output.claims[v][kPLcRPar] != kNoClaim &&
+        result.output.claims[v][kPLcRPar] != labels.vcolor[v]) {
+      result.output.witness[v] = kWChain2c;
+      continue;
+    }
+    if (result.output.claims[v][kPRLcLPar] != kNoClaim &&
+        result.output.claims[v][kPRLcLPar] != labels.vcolor[v]) {
+      result.output.witness[v] = kWChain2d;
+      continue;
+    }
+    // g1 witnesses: Center-neighbor count vs Parent presence.
+    if (!labels.center[v]) {
+      bool has_parent = false;
+      for (int p = 0; p < g.degree(v); ++p)
+        if (labels.half[g.incidence(v, p)] == kHalfParent) has_parent = true;
+      std::vector<HalfEdge> to_center;
+      for (int p = 0; p < g.degree(v); ++p) {
+        const HalfEdge h = g.incidence(v, p);
+        if (labels.center[g.node_across(h)]) to_center.push_back(h);
+      }
+      if (!has_parent && to_center.empty()) {
+        for (int p = 0; p < g.degree(v); ++p)
+          result.output.mark[g.incidence(v, p)] = kMarkNoCenter;
+        result.output.witness[v] = kWCenterNone;
+        continue;
+      }
+      const std::size_t need = has_parent ? 1 : 2;
+      if (to_center.size() >= need) {
+        for (std::size_t i = 0; i < need; ++i)
+          result.output.mark[to_center[i]] = kMarkCenterPair;
+        result.output.witness[v] = kWCenterPair;
+        continue;
+      }
+    }
+    // Every structural violation falls into one of the classes above.
+    PADLOCK_ASSERT(false);
+  }
+  return result;
+}
+
+}  // namespace padlock

@@ -1,0 +1,80 @@
+// The path (linear, Δ)-gadget family — a second gadget family exercising
+// Theorem 1's generality: the theorem holds for *any* (d, Δ)-gadget family,
+// and with d(n) = Θ(n) the padded problem's complexities pick up a Θ(√N)
+// stretch instead of Θ(log N) (bench: bench_fig_path_padding).
+//
+// A path gadget consists of Δ sub-paths of equal length joined at a center:
+//
+//     Center --Down_i/Up-- p_0 --Right/Left-- p_1 -- ... -- p_{L-1} (Port_i)
+//
+// Labels reuse the (log, Δ)-family vocabulary (GadgetLabels): Index_i on
+// sub-path nodes, Port_i on the right end, Center on the hub, half labels
+// in {Right, Left, Up, Down_i}, plus a distance-2 verification coloring
+// (§4.6's device for witnessing self-loops/parallel edges).
+//
+// Structural constraints (all constant-radius, per node u):
+//   P1  half labels are in-domain and pairwise distinct at u;
+//       Down_i only at Center, Up/Right/Left never at Center
+//   P2  reciprocity: Right ↔ Left across an edge; Up at u ⇔ Down_i at the
+//       far side, whose endpoint is labeled Center
+//   P3  a non-center u carries Index_i (1 <= i <= Δ); Right/Left neighbors
+//       carry the same index; an Up edge leads to a Center; the Down_i
+//       neighbor of a center carries Index_i
+//   P4  a non-center u has exactly one edge labeled Up or Left (Up marks
+//       the left end, Left everything else), and at most one Right
+//   P5  u is labeled Port_i iff it has no Right edge, and then i = Index_u
+//   P6  a center has exactly Δ edges, labeled Down_1..Down_Δ (one each)
+//   P7  the verification coloring is locally proper at distance 2 (no two
+//       neighbors of u share a color, no neighbor shares u's color)
+//
+// As with the tree family, boundary-free impostors (Right/Left cycles)
+// satisfy every local constraint; they are invalid gadgets on which an
+// all-pointer "proof" exists (everybody points Right), which is harmless —
+// the paper allows invalid gadgets to be claimed valid; ports do not exist
+// on such impostors, so padded-level port constraints quarantine them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gadget/gadget.hpp"
+
+namespace padlock {
+
+/// Number of nodes of a path gadget: delta * length + 1.
+std::size_t path_gadget_size(int delta, int length);
+
+/// Sub-path length such that the gadget has roughly `target_nodes` nodes.
+int path_length_for_size(int delta, std::size_t target_nodes);
+
+/// Builds a valid path gadget: Δ sub-paths of `length` >= 2 nodes plus the
+/// center, fully labeled.
+GadgetInstance build_path_gadget(int delta, int length);
+
+struct PathStructureReport {
+  NodeMap<bool> node_ok;
+  bool all_ok = true;
+  std::vector<std::pair<NodeId, std::string>> violations;
+};
+
+/// Evaluates P1–P7 at every node.
+PathStructureReport check_path_structure(const Graph& g,
+                                         const GadgetLabels& labels,
+                                         std::size_t max_violations = 32);
+
+/// Single-node evaluation; `why` (optional) names the failed constraint.
+bool path_node_ok(const Graph& g, const GadgetLabels& labels, NodeId v,
+                  std::string* why = nullptr);
+
+/// True iff edge e's *input* labels are inconsistent (the cross-edge parts
+/// of P2/P3: reciprocity, index agreement, Up-means-center, Down-index).
+/// This is the WEdge predicate of the path family's Ψ_G.
+bool path_edge_inputs_inconsistent(const Graph& g, const GadgetLabels& labels,
+                                   EdgeId e);
+
+/// True iff the violation at v is visible in v's own configuration
+/// (P1 domain/distinctness, P4, P5, P6 — the WSelf predicate).
+bool path_own_config_violated(const Graph& g, const GadgetLabels& labels,
+                              NodeId v);
+
+}  // namespace padlock

@@ -1,0 +1,59 @@
+// The LCL problem Ψ of §4.4: on a gadget-labeled graph, either every node
+// outputs Ok, or nodes output error labels — Error at nodes whose
+// constant-radius structural constraints are violated, and error *pointers*
+// elsewhere, forming chains that provably lead to an Error:
+//
+//   1. a node outputs Ok, Error, or exactly one pointer;
+//   2. Error iff the node's own structural constraints (§4.2/§4.3) fail;
+//   3. pointer chains step as follows (constraints 3a–3f):
+//        Right  -> {Error, Right}
+//        Left   -> {Error, Left}
+//        Parent -> {Error, Parent, Left, Right, Up}
+//        RChild -> {Error, RChild, Right, Left}
+//        Up     -> {Error, Down_j with j != own Index}
+//        Down_i -> {Error, RChild}
+//
+// Lemma 9: on a *valid* gadget no all-error labeling satisfies these
+// constraints — the chains would have to escape through a boundary that a
+// valid gadget does not have. (The tests reproduce this with an exhaustive
+// CSP search on small gadgets.)
+#pragma once
+
+#include <string>
+
+#include "gadget/constraints.hpp"
+#include "gadget/gadget.hpp"
+
+namespace padlock {
+
+/// Ψ output per node.
+enum PsiLabel : int {
+  kPsiOk = 0,
+  kPsiError = 1,
+  // Pointers reuse the half-label encoding shifted into their own space:
+  // kPsiPtrBase + GadgetHalfLabel (Down_i = kPsiPtrBase + kHalfDownBase + i).
+  kPsiPtrBase = 16,
+};
+
+[[nodiscard]] constexpr int psi_pointer(int half_label) {
+  return kPsiPtrBase + half_label;
+}
+[[nodiscard]] constexpr bool is_psi_pointer(int l) { return l >= kPsiPtrBase; }
+[[nodiscard]] constexpr int psi_pointer_label(int l) { return l - kPsiPtrBase; }
+
+std::string psi_label_name(int label);
+
+using PsiOutput = NodeMap<int>;
+
+struct PsiCheckResult {
+  bool ok = true;
+  std::vector<std::pair<NodeId, std::string>> violations;
+};
+
+/// Verifies a Ψ output against the gadget-labeled graph (constraints 1–3
+/// above; constant radius per node).
+PsiCheckResult check_psi(const Graph& g, const GadgetLabels& labels,
+                         const PsiOutput& out,
+                         std::size_t max_violations = 32);
+
+}  // namespace padlock

@@ -1,0 +1,142 @@
+#include "gadget/verifier.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/metrics.hpp"
+
+namespace padlock {
+
+namespace {
+
+/// Walks `first` once, then `repeat` until a violated node is hit.
+/// Returns true iff some violated node is reached. Every step from a
+/// non-violated node is unambiguous (constraint 1b holds there).
+bool walk_hits_error(const Graph& g, const GadgetLabels& labels,
+                     const NodeMap<bool>& ok, NodeId start, int label,
+                     std::size_t cap) {
+  NodeId cur = start;
+  for (std::size_t steps = 0; steps < cap; ++steps) {
+    cur = follow_label(g, labels, cur, label);
+    if (cur == kNoNode) return false;
+    if (!ok[cur]) return true;
+    if (cur == start) return false;  // wrapped around a label cycle
+  }
+  return false;
+}
+
+/// Errors reachable as start(first^{>=1} then Right^* | Left^*)?
+bool chain_then_sweep(const Graph& g, const GadgetLabels& labels,
+                      const NodeMap<bool>& ok, NodeId start, int chain_label,
+                      std::size_t cap) {
+  NodeId cur = start;
+  for (std::size_t steps = 0; steps < cap; ++steps) {
+    cur = follow_label(g, labels, cur, chain_label);
+    if (cur == kNoNode) return false;
+    if (!ok[cur]) return true;
+    if (walk_hits_error(g, labels, ok, cur, kHalfRight, cap)) return true;
+    if (walk_hits_error(g, labels, ok, cur, kHalfLeft, cap)) return true;
+    if (cur == start) return false;
+  }
+  return false;
+}
+
+/// Center rule: error reachable via Down_i, RChild^{i1>=0}, then
+/// Right^*|Left^*?
+bool down_pattern_hits_error(const Graph& g, const GadgetLabels& labels,
+                             const NodeMap<bool>& ok, NodeId center, int i,
+                             std::size_t cap) {
+  NodeId cur = follow_label(g, labels, center, down_label(i));
+  if (cur == kNoNode) return false;
+  for (std::size_t steps = 0; steps < cap; ++steps) {
+    if (!ok[cur]) return true;
+    if (walk_hits_error(g, labels, ok, cur, kHalfRight, cap)) return true;
+    if (walk_hits_error(g, labels, ok, cur, kHalfLeft, cap)) return true;
+    cur = follow_label(g, labels, cur, kHalfRChild);
+    if (cur == kNoNode) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+VerifierResult run_gadget_verifier(const Graph& g,
+                                   const GadgetLabels& labels) {
+  const auto n = g.num_nodes();
+  VerifierResult result{PsiOutput(g, kPsiOk), RoundReport{}, false};
+
+  // Step 1–2: constant-radius structural checks.
+  const auto structure = check_gadget_structure(g, labels, 0);
+  const auto& ok = structure.node_ok;
+
+  // Which components contain a violation?
+  const auto comps = connected_components(g);
+  std::vector<bool> comp_bad(static_cast<std::size_t>(comps.count), false);
+  for (NodeId v = 0; v < n; ++v)
+    if (!ok[v]) comp_bad[static_cast<std::size_t>(comps.id[v])] = true;
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!comp_bad[static_cast<std::size_t>(comps.id[v])]) {
+      result.output[v] = kPsiOk;  // step 4
+      continue;
+    }
+    result.found_error = true;
+    if (!ok[v]) {
+      result.output[v] = kPsiError;  // step 2
+      continue;
+    }
+    const std::size_t cap = n + 1;
+    if (labels.center[v]) {
+      // Step 5: smallest Down_i whose pattern reaches an error.
+      int chosen = 0;
+      for (int i = 1; i <= labels.delta && chosen == 0; ++i)
+        if (down_pattern_hits_error(g, labels, ok, v, i, cap)) chosen = i;
+      PADLOCK_REQUIRE(chosen != 0);  // Lemma 10's case analysis
+      result.output[v] = psi_pointer(down_label(chosen));
+      continue;
+    }
+    // Step 6, checked in order.
+    if (walk_hits_error(g, labels, ok, v, kHalfRight, cap)) {
+      result.output[v] = psi_pointer(kHalfRight);
+    } else if (walk_hits_error(g, labels, ok, v, kHalfLeft, cap)) {
+      result.output[v] = psi_pointer(kHalfLeft);
+    } else if (chain_then_sweep(g, labels, ok, v, kHalfParent, cap)) {
+      result.output[v] = psi_pointer(kHalfParent);
+    } else if (chain_then_sweep(g, labels, ok, v, kHalfRChild, cap)) {
+      result.output[v] = psi_pointer(kHalfRChild);
+    } else {
+      // Step 6e: valid sub-gadget, error elsewhere: route to the center.
+      const NodeId parent = follow_label(g, labels, v, kHalfParent);
+      result.output[v] =
+          psi_pointer(parent != kNoNode ? kHalfParent : kHalfUp);
+    }
+  }
+
+  // Round accounting: per-node eccentricity estimate via double sweep
+  // within each component.
+  NodeMap<int> per_node(g, 0);
+  std::vector<NodeId> comp_seed(static_cast<std::size_t>(comps.count),
+                                kNoNode);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& seed = comp_seed[static_cast<std::size_t>(comps.id[v])];
+    if (seed == kNoNode) seed = v;
+  }
+  for (int c = 0; c < comps.count; ++c) {
+    const NodeId seed = comp_seed[static_cast<std::size_t>(c)];
+    const auto d0 = bfs_distances(g, seed);
+    NodeId far0 = seed;
+    for (NodeId v = 0; v < n; ++v)
+      if (comps.id[v] == c && d0[v] > d0[far0]) far0 = v;
+    const auto d1 = bfs_distances(g, far0);
+    NodeId far1 = far0;
+    for (NodeId v = 0; v < n; ++v)
+      if (comps.id[v] == c && d1[v] > d1[far1]) far1 = v;
+    const auto d2 = bfs_distances(g, far1);
+    for (NodeId v = 0; v < n; ++v)
+      if (comps.id[v] == c) per_node[v] = std::max(d1[v], d2[v]);
+  }
+  result.report = RoundReport::from(std::move(per_node));
+  return result;
+}
+
+}  // namespace padlock

@@ -1,0 +1,27 @@
+// Algorithm V of §4.5: solves Ψ on gadget-labeled graphs in O(log n)
+// rounds. On a valid gadget every node outputs Ok; on an invalid one,
+// structurally violated nodes output Error and all other nodes output error
+// pointers chosen by the paper's case analysis (steps 5–6), producing a
+// locally checkable proof of error.
+//
+// Round accounting: a node certifies validity (or picks its pointer) after
+// seeing its whole gadget component, whose diameter is O(log n) for
+// (log, Δ)-gadgets; the report carries per-node eccentricity estimates from
+// a BFS double sweep (exact on trees, a >= diameter/2 lower bound in
+// general).
+#pragma once
+
+#include "gadget/psi.hpp"
+#include "local/engine.hpp"
+
+namespace padlock {
+
+struct VerifierResult {
+  PsiOutput output;
+  RoundReport report;
+  bool found_error = false;  // any component with a structural violation
+};
+
+VerifierResult run_gadget_verifier(const Graph& g, const GadgetLabels& labels);
+
+}  // namespace padlock

@@ -1,0 +1,316 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace padlock::build {
+
+Graph path(std::size_t n) {
+  PADLOCK_REQUIRE(n >= 1);
+  GraphBuilder b(n);
+  b.add_nodes(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  return std::move(b).build();
+}
+
+Graph cycle(std::size_t n) {
+  PADLOCK_REQUIRE(n >= 1);
+  GraphBuilder b(n);
+  b.add_nodes(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  return std::move(b).build();
+}
+
+Graph complete_binary_tree(int height) {
+  PADLOCK_REQUIRE(height >= 1);
+  const std::size_t n = (std::size_t{1} << height) - 1;
+  GraphBuilder b(n);
+  b.add_nodes(n);
+  // Node i has children 2i+1, 2i+2 (heap order).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (2 * i + 1 < n) b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(2 * i + 1));
+    if (2 * i + 2 < n) b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(2 * i + 2));
+  }
+  return std::move(b).build();
+}
+
+Graph torus(std::size_t rows, std::size_t cols) {
+  PADLOCK_REQUIRE(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  b.add_nodes(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      b.add_edge(at(r, c), at(r, (c + 1) % cols));
+      b.add_edge(at(r, c), at((r + 1) % rows, c));
+    }
+  return std::move(b).build();
+}
+
+namespace {
+
+// Pairs up stubs of the configuration model; returns the edge list.
+std::vector<std::pair<NodeId, NodeId>> configuration_model(std::size_t n,
+                                                           int d, Rng& rng) {
+  std::vector<NodeId> stubs;
+  stubs.reserve(n * static_cast<std::size_t>(d));
+  for (std::size_t v = 0; v < n; ++v)
+    for (int k = 0; k < d; ++k) stubs.push_back(static_cast<NodeId>(v));
+  // Fisher–Yates shuffle.
+  for (std::size_t i = stubs.size(); i > 1; --i)
+    std::swap(stubs[i - 1], stubs[rng.below(i)]);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+    edges.emplace_back(stubs[i], stubs[i + 1]);
+  return edges;
+}
+
+Graph from_edge_list(std::size_t n,
+                     const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  b.add_nodes(n);
+  for (auto [u, v] : edges) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+using EdgeKey = std::pair<NodeId, NodeId>;
+
+EdgeKey key(NodeId u, NodeId v) { return {std::min(u, v), std::max(u, v)}; }
+
+// Repairs self-loops and parallel edges in an edge list by random 2-opt
+// switches: a bad edge {u,v} and a random partner {x,y} are rewired to
+// {u,x},{v,y} if that introduces no new loop or parallel edge.
+void make_simple(std::vector<std::pair<NodeId, NodeId>>& edges, Rng& rng) {
+  std::multiset<EdgeKey> present;
+  for (auto [u, v] : edges) present.insert(key(u, v));
+  auto is_bad = [&](std::size_t i) {
+    auto [u, v] = edges[i];
+    return u == v || present.count(key(u, v)) > 1;
+  };
+  // Iterate until a full pass finds no bad edge. Each switch strictly tends
+  // to reduce badness; a generous cap guards against pathological inputs.
+  std::size_t guard = 200 * edges.size() + 1000;
+  bool dirty = true;
+  while (dirty) {
+    dirty = false;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      while (is_bad(i)) {
+        PADLOCK_REQUIRE(guard-- > 0);
+        const std::size_t j = rng.below(edges.size());
+        if (j == i) continue;
+        auto [u, v] = edges[i];
+        auto [x, y] = edges[j];
+        // Candidate rewiring: {u,x} and {v,y}.
+        if (u == x || v == y) continue;
+        if (present.count(key(u, x)) > 0 || present.count(key(v, y)) > 0)
+          continue;
+        present.erase(present.find(key(u, v)));
+        present.erase(present.find(key(x, y)));
+        present.insert(key(u, x));
+        present.insert(key(v, y));
+        edges[i] = {u, x};
+        edges[j] = {v, y};
+        dirty = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Graph random_regular(std::size_t n, int d, std::uint64_t seed) {
+  PADLOCK_REQUIRE(d >= 1);
+  PADLOCK_REQUIRE((n * static_cast<std::size_t>(d)) % 2 == 0);
+  Rng rng(seed);
+  return from_edge_list(n, configuration_model(n, d, rng));
+}
+
+Graph random_regular_simple(std::size_t n, int d, std::uint64_t seed) {
+  PADLOCK_REQUIRE(d >= 1);
+  PADLOCK_REQUIRE(n > static_cast<std::size_t>(d));
+  PADLOCK_REQUIRE((n * static_cast<std::size_t>(d)) % 2 == 0);
+  Rng rng(seed);
+  auto edges = configuration_model(n, d, rng);
+  make_simple(edges, rng);
+  return from_edge_list(n, edges);
+}
+
+namespace {
+
+// Finds an edge lying on some cycle of length < min_girth using truncated
+// BFS from every node; returns kNoEdge if none found.
+EdgeId find_short_cycle_edge(const Graph& g, int min_girth) {
+  const auto n = g.num_nodes();
+  std::vector<int> dist(n, -1);
+  std::vector<EdgeId> via(n, kNoEdge);
+  std::vector<NodeId> touched;
+  const int radius = min_girth / 2;  // cycles of length < min_girth are seen
+  for (NodeId s = 0; s < n; ++s) {
+    touched.clear();
+    dist[s] = 0;
+    touched.push_back(s);
+    std::queue<NodeId> q;
+    q.push(s);
+    EdgeId found = kNoEdge;
+    while (!q.empty() && found == kNoEdge) {
+      const NodeId u = q.front();
+      q.pop();
+      if (dist[u] >= radius) continue;
+      for (int p = 0; p < g.degree(u); ++p) {
+        const HalfEdge h = g.incidence(u, p);
+        const NodeId w = g.node_across(h);
+        if (w == u) return h.edge;  // self-loop: cycle of length 1
+        if (dist[w] == -1) {
+          dist[w] = dist[u] + 1;
+          via[w] = h.edge;
+          touched.push_back(w);
+          q.push(w);
+        } else if (via[w] != h.edge && via[u] != h.edge) {
+          // Non-tree edge closing a cycle of length <= dist[u]+dist[w]+1
+          // < min_girth within the truncated ball.
+          if (dist[u] + dist[w] + 1 < min_girth) {
+            found = h.edge;
+            break;
+          }
+        }
+      }
+    }
+    for (NodeId t : touched) {
+      dist[t] = -1;
+      via[t] = kNoEdge;
+    }
+    if (found != kNoEdge) return found;
+  }
+  return kNoEdge;
+}
+
+}  // namespace
+
+Graph high_girth_regular(std::size_t n, int d, int girth_target,
+                         std::uint64_t seed) {
+  PADLOCK_REQUIRE(girth_target >= 3);
+  // Moore bound sanity: a d-regular graph of girth g needs at least about
+  // (d-1)^((g-1)/2) nodes; require headroom so the switch process converges.
+  double moore = 1;
+  for (int i = 0; i < (girth_target - 1) / 2; ++i) moore *= (d - 1);
+  PADLOCK_REQUIRE(static_cast<double>(n) >= 4 * moore);
+
+  Rng rng(mix64(seed ^ 0x5bd1e995));
+  auto edges = configuration_model(n, d, rng);
+  make_simple(edges, rng);
+
+  std::multiset<EdgeKey> present;
+  for (auto [u, v] : edges) present.insert(key(u, v));
+
+  // Index from edge endpoints to position in `edges` is rebuilt lazily; the
+  // loop below rebuilds the graph per pass, which is fine at bench scales.
+  std::size_t guard = 50 * n + 10000;
+  while (true) {
+    Graph g = from_edge_list(n, edges);
+    const EdgeId bad = find_short_cycle_edge(g, girth_target);
+    if (bad == kNoEdge) break;
+    // 2-opt switch the offending edge with a random partner.
+    bool switched = false;
+    while (!switched) {
+      PADLOCK_REQUIRE(guard-- > 0);
+      const std::size_t j = rng.below(edges.size());
+      if (j == bad) continue;
+      auto [u, v] = edges[bad];
+      auto [x, y] = edges[j];
+      if (u == x || v == y) continue;
+      if (present.count(key(u, x)) > 0 || present.count(key(v, y)) > 0)
+        continue;
+      present.erase(present.find(key(u, v)));
+      present.erase(present.find(key(x, y)));
+      present.insert(key(u, x));
+      present.insert(key(v, y));
+      edges[bad] = {u, x};
+      edges[j] = {v, y};
+      switched = true;
+    }
+  }
+  return from_edge_list(n, edges);
+}
+
+Graph random_bounded_degree(std::size_t n, int max_deg, double density,
+                            std::uint64_t seed) {
+  PADLOCK_REQUIRE(n >= 1);
+  PADLOCK_REQUIRE(max_deg >= 0);
+  PADLOCK_REQUIRE(density >= 0 && density <= 1);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  b.add_nodes(n);
+  std::vector<int> deg(n, 0);
+  const auto target =
+      static_cast<std::size_t>(density * static_cast<double>(n) *
+                               static_cast<double>(max_deg) / 2.0);
+  std::size_t attempts = 4 * target + 16;
+  std::size_t added = 0;
+  while (added < target && attempts-- > 0) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    const int loop_cost = (u == v) ? 2 : 1;
+    if (deg[u] + loop_cost > max_deg || deg[v] + 1 > max_deg) continue;
+    if (u == v) {
+      deg[u] += 2;
+    } else {
+      ++deg[u];
+      ++deg[v];
+    }
+    b.add_edge(u, v);
+    ++added;
+  }
+  return std::move(b).build();
+}
+
+Graph random_bounded_degree_simple(std::size_t n, int max_deg, double density,
+                                   std::uint64_t seed) {
+  PADLOCK_REQUIRE(n >= 1);
+  PADLOCK_REQUIRE(max_deg >= 0);
+  PADLOCK_REQUIRE(density >= 0 && density <= 1);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  b.add_nodes(n);
+  std::vector<int> deg(n, 0);
+  std::vector<std::vector<NodeId>> adj(n);
+  const auto target =
+      static_cast<std::size_t>(density * static_cast<double>(n) *
+                               static_cast<double>(max_deg) / 2.0);
+  std::size_t attempts = 8 * target + 16;
+  std::size_t added = 0;
+  while (added < target && attempts-- > 0) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (deg[u] + 1 > max_deg || deg[v] + 1 > max_deg) continue;
+    bool dup = false;
+    for (const NodeId w : adj[u]) {
+      if (w == v) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    ++deg[u];
+    ++deg[v];
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    b.add_edge(u, v);
+    ++added;
+  }
+  return std::move(b).build();
+}
+
+}  // namespace padlock::build

@@ -1,0 +1,55 @@
+// Workload graph generators.
+//
+// These produce the instance families used throughout the paper's
+// constructions and our benches: cycles and paths (Θ(log* n) problems),
+// random and high-girth Δ-regular graphs (sinkless orientation), complete
+// binary trees (gadget scaffolding), and toroidal grids.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace padlock::build {
+
+/// Simple path with n >= 1 nodes, edges i -- i+1.
+Graph path(std::size_t n);
+
+/// Cycle with n >= 1 nodes (n == 1 gives a single self-loop, n == 2 a
+/// parallel pair — both legal in our multigraph model).
+Graph cycle(std::size_t n);
+
+/// Complete binary tree with `height` levels (height >= 1); level 0 is the
+/// root, level h-1 the leaves; 2^height - 1 nodes.
+Graph complete_binary_tree(int height);
+
+/// Toroidal rows x cols grid (4-regular); rows, cols >= 1.
+Graph torus(std::size_t rows, std::size_t cols);
+
+/// Random d-regular multigraph on n nodes via the configuration model
+/// (n*d must be even). May contain self-loops and parallel edges, which the
+/// model of the paper explicitly permits.
+Graph random_regular(std::size_t n, int d, std::uint64_t seed);
+
+/// Random d-regular *simple* graph: configuration model with rejection of
+/// loops/parallels via edge switches. d >= 1, n*d even, n > d.
+Graph random_regular_simple(std::size_t n, int d, std::uint64_t seed);
+
+/// d-regular graph with girth >= `girth`, built by local edge switches that
+/// destroy short cycles. Used as the hard-instance family for sinkless
+/// orientation (the paper's lower-bound instances are high-girth graphs).
+/// Requires n large enough for the Moore bound; asserts otherwise.
+Graph high_girth_regular(std::size_t n, int d, int girth, std::uint64_t seed);
+
+/// Erdős–Rényi-style bounded-degree graph: starts from a random matching
+/// layering until max degree <= max_deg. Handy for fuzz tests.
+Graph random_bounded_degree(std::size_t n, int max_deg, double density,
+                            std::uint64_t seed);
+
+/// Like random_bounded_degree but *simple*: self-loops and parallel edges
+/// are rejected during sampling. Needed by algorithms that require proper
+/// colorings to exist (Linial, MIS, edge coloring).
+Graph random_bounded_degree_simple(std::size_t n, int max_deg, double density,
+                                   std::uint64_t seed);
+
+}  // namespace padlock::build

@@ -1,0 +1,57 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace padlock {
+
+GraphBuilder::GraphBuilder(std::size_t reserve_nodes) {
+  node_ports_.reserve(reserve_nodes);
+}
+
+NodeId GraphBuilder::add_node() {
+  node_ports_.emplace_back();
+  return static_cast<NodeId>(node_ports_.size() - 1);
+}
+
+NodeId GraphBuilder::add_nodes(std::size_t count) {
+  const auto first = static_cast<NodeId>(node_ports_.size());
+  node_ports_.resize(node_ports_.size() + count);
+  return first;
+}
+
+EdgeId GraphBuilder::add_edge(NodeId u, NodeId v) {
+  PADLOCK_REQUIRE(u < node_ports_.size());
+  PADLOCK_REQUIRE(v < node_ports_.size());
+  const auto e = static_cast<EdgeId>(endpoints_.size());
+  endpoints_.emplace_back(u, v);
+  node_ports_[u].push_back(HalfEdge{e, 0});
+  node_ports_[v].push_back(HalfEdge{e, 1});
+  return e;
+}
+
+Graph GraphBuilder::build() && {
+  Graph g;
+  g.endpoints_ = std::move(endpoints_);
+  g.first_port_.resize(node_ports_.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < node_ports_.size(); ++v) {
+    g.first_port_[v] = total;
+    total += node_ports_[v].size();
+    g.max_degree_ =
+        std::max(g.max_degree_, static_cast<int>(node_ports_[v].size()));
+  }
+  g.first_port_[node_ports_.size()] = total;
+  g.ports_.reserve(total);
+  g.side_port_.assign(g.endpoints_.size(), {-1, -1});
+  for (std::size_t v = 0; v < node_ports_.size(); ++v) {
+    for (std::size_t p = 0; p < node_ports_[v].size(); ++p) {
+      const HalfEdge h = node_ports_[v][p];
+      g.ports_.push_back(h);
+      auto& sp = g.side_port_[h.edge];
+      (h.side == 0 ? sp.first : sp.second) = static_cast<int>(p);
+    }
+  }
+  return g;
+}
+
+}  // namespace padlock

@@ -1,0 +1,162 @@
+// Port-numbered bounded-degree multigraph — the network substrate of the
+// LOCAL model as used in the paper (§2):
+//
+//  * nodes have ports numbered 1..deg; every incident edge is attached to a
+//    specific port, and a node receiving a message knows the arrival port;
+//  * graphs may be disconnected and may contain self-loops and parallel
+//    edges ("for technical reasons we deviate from the usual assumptions");
+//  * a self-loop occupies two ports of its node and contributes 2 to the
+//    degree, matching the standard port-numbering convention.
+//
+// Graphs are immutable after construction (build with GraphBuilder); all
+// algorithms return label vectors instead of mutating the graph.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace padlock {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// One side of an edge. Edge e = {u,v} has side 0 at u and side 1 at v
+/// (u and v being the endpoints in insertion order; u == v for self-loops).
+struct HalfEdge {
+  EdgeId edge = kNoEdge;
+  int side = 0;  // 0 or 1
+
+  friend bool operator==(const HalfEdge&, const HalfEdge&) = default;
+};
+
+/// Dense index of a half-edge: 2*edge + side. Used to address half-edge
+/// label stores (the set B = {(v,e) : v ∈ e} of the paper).
+[[nodiscard]] constexpr std::size_t half_edge_index(HalfEdge h) {
+  return 2 * static_cast<std::size_t>(h.edge) + static_cast<std::size_t>(h.side);
+}
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] std::size_t num_nodes() const { return first_port_.empty() ? 0 : first_port_.size() - 1; }
+  [[nodiscard]] std::size_t num_edges() const { return endpoints_.size(); }
+
+  /// Number of ports of v (= degree; self-loops count twice).
+  [[nodiscard]] int degree(NodeId v) const {
+    PADLOCK_REQUIRE(v < num_nodes());
+    return static_cast<int>(first_port_[v + 1] - first_port_[v]);
+  }
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  [[nodiscard]] int max_degree() const { return max_degree_; }
+
+  /// The half-edge attached to port `port` (0-based) of node v.
+  [[nodiscard]] HalfEdge incidence(NodeId v, int port) const {
+    PADLOCK_REQUIRE(v < num_nodes());
+    PADLOCK_REQUIRE(port >= 0 && port < degree(v));
+    return ports_[first_port_[v] + static_cast<std::size_t>(port)];
+  }
+
+  /// Endpoint of edge e on side `side`.
+  [[nodiscard]] NodeId endpoint(EdgeId e, int side) const {
+    PADLOCK_REQUIRE(e < num_edges());
+    PADLOCK_REQUIRE(side == 0 || side == 1);
+    return side == 0 ? endpoints_[e].first : endpoints_[e].second;
+  }
+
+  [[nodiscard]] std::pair<NodeId, NodeId> endpoints(EdgeId e) const {
+    PADLOCK_REQUIRE(e < num_edges());
+    return endpoints_[e];
+  }
+
+  [[nodiscard]] bool is_self_loop(EdgeId e) const {
+    const auto [u, v] = endpoints(e);
+    return u == v;
+  }
+
+  /// The node at the other end of half-edge h.
+  [[nodiscard]] NodeId node_across(HalfEdge h) const {
+    return endpoint(h.edge, 1 - h.side);
+  }
+
+  /// The node owning half-edge h.
+  [[nodiscard]] NodeId node_at(HalfEdge h) const {
+    return endpoint(h.edge, h.side);
+  }
+
+  /// The neighbor reached from v through port `port`. For a self-loop this
+  /// is v itself.
+  [[nodiscard]] NodeId neighbor(NodeId v, int port) const {
+    return node_across(incidence(v, port));
+  }
+
+  /// The port at which half-edge h is attached to its endpoint.
+  [[nodiscard]] int port_of(HalfEdge h) const {
+    PADLOCK_REQUIRE(h.edge < num_edges());
+    return h.side == 0 ? side_port_[h.edge].first : side_port_[h.edge].second;
+  }
+
+  /// The opposite half of h's edge.
+  [[nodiscard]] static HalfEdge opposite(HalfEdge h) {
+    return HalfEdge{h.edge, 1 - h.side};
+  }
+
+  /// All half-edges incident to v, in port order.
+  [[nodiscard]] std::vector<HalfEdge> incident(NodeId v) const {
+    std::vector<HalfEdge> out;
+    out.reserve(static_cast<std::size_t>(degree(v)));
+    for (int p = 0; p < degree(v); ++p) out.push_back(incidence(v, p));
+    return out;
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  // CSR layout of ports: ports of node v live at
+  // ports_[first_port_[v] .. first_port_[v+1]).
+  std::vector<std::size_t> first_port_;
+  std::vector<HalfEdge> ports_;
+  std::vector<std::pair<NodeId, NodeId>> endpoints_;
+  // Per edge: (port at side-0 endpoint, port at side-1 endpoint).
+  std::vector<std::pair<int, int>> side_port_;
+  int max_degree_ = 0;
+};
+
+/// Incremental builder; the only place where graph topology is mutable.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  explicit GraphBuilder(std::size_t reserve_nodes);
+
+  /// Adds an isolated node and returns its id (ids are dense, 0-based).
+  NodeId add_node();
+
+  /// Adds `count` nodes; returns the id of the first.
+  NodeId add_nodes(std::size_t count);
+
+  /// Adds an edge {u,v}; u gets side 0, v side 1. Ports are assigned per
+  /// node in edge-insertion order. Self-loops (u == v) are allowed and use
+  /// two consecutive ports of u.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] std::size_t num_nodes() const { return node_ports_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return endpoints_.size(); }
+
+  /// Finalizes the graph. The builder may not be reused afterwards.
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  std::vector<std::vector<HalfEdge>> node_ports_;
+  std::vector<std::pair<NodeId, NodeId>> endpoints_;
+};
+
+}  // namespace padlock

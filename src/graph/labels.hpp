@@ -1,0 +1,85 @@
+// Dense label stores for the three label sites of an ne-LCL (§2 of the
+// paper): nodes V, edges E, and half-edges B = {(v,e) : v ∈ e}.
+//
+// These are thin typed wrappers over std::vector so that a NodeMap cannot be
+// indexed with an edge id by accident.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace padlock {
+
+template <typename T>
+class NodeMap {
+ public:
+  NodeMap() = default;
+  explicit NodeMap(const Graph& g, T init = T{})
+      : data_(g.num_nodes(), init) {}
+  NodeMap(std::size_t n, T init) : data_(n, init) {}
+
+  decltype(auto) operator[](NodeId v) { return data_.at(v); }
+  decltype(auto) operator[](NodeId v) const { return data_.at(v); }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const NodeMap&, const NodeMap&) = default;
+
+ private:
+  std::vector<T> data_;
+};
+
+template <typename T>
+class EdgeMap {
+ public:
+  EdgeMap() = default;
+  explicit EdgeMap(const Graph& g, T init = T{})
+      : data_(g.num_edges(), init) {}
+  EdgeMap(std::size_t m, T init) : data_(m, init) {}
+
+  decltype(auto) operator[](EdgeId e) { return data_.at(e); }
+  decltype(auto) operator[](EdgeId e) const { return data_.at(e); }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const EdgeMap&, const EdgeMap&) = default;
+
+ private:
+  std::vector<T> data_;
+};
+
+template <typename T>
+class HalfEdgeMap {
+ public:
+  HalfEdgeMap() = default;
+  explicit HalfEdgeMap(const Graph& g, T init = T{})
+      : data_(2 * g.num_edges(), init) {}
+  HalfEdgeMap(std::size_t m, T init) : data_(2 * m, init) {}
+
+  decltype(auto) operator[](HalfEdge h) { return data_.at(half_edge_index(h)); }
+  decltype(auto) operator[](HalfEdge h) const {
+    return data_.at(half_edge_index(h));
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const HalfEdgeMap&, const HalfEdgeMap&) = default;
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace padlock

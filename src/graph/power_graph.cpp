@@ -1,0 +1,45 @@
+#include "graph/power_graph.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace padlock {
+
+PowerGraph power_graph(const Graph& g, int k) {
+  PADLOCK_REQUIRE(k >= 1);
+  const std::size_t n = g.num_nodes();
+  GraphBuilder b(n);
+  b.add_nodes(n);
+
+  // Truncated BFS to depth k from every node; add each pair once (u < v).
+  std::vector<int> dist(n, -1);
+  std::vector<NodeId> touched;
+  for (NodeId u = 0; u < n; ++u) {
+    dist[u] = 0;
+    touched.assign(1, u);
+    std::queue<NodeId> q;
+    q.push(u);
+    while (!q.empty()) {
+      const NodeId x = q.front();
+      q.pop();
+      if (dist[x] == k) continue;
+      for (int p = 0; p < g.degree(x); ++p) {
+        const NodeId y = g.neighbor(x, p);
+        if (y == x || dist[y] != -1) continue;
+        dist[y] = dist[x] + 1;
+        touched.push_back(y);
+        q.push(y);
+      }
+    }
+    for (const NodeId v : touched) {
+      if (v > u) b.add_edge(u, v);
+      dist[v] = -1;
+    }
+    dist[u] = -1;
+  }
+  return PowerGraph{std::move(b).build(), k};
+}
+
+}  // namespace padlock

@@ -1,0 +1,27 @@
+// Graph powers: G^k connects u != v whenever dist_G(u, v) <= k. Used to
+// lift node algorithms to distance-k problems — a k-hop simulation in G
+// realizes one hop in G^k, so an algorithm running T rounds on G^k costs
+// k·T rounds on G (the round-accounting helpers below make that explicit).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+
+namespace padlock {
+
+struct PowerGraph {
+  Graph graph;  // same node ids as the base graph
+  int k = 1;
+};
+
+/// Builds G^k (k >= 1) as a simple graph: one edge per unordered pair at
+/// base distance in [1, k]. Self-loops of G are ignored (they add no new
+/// pairs); parallel base edges collapse.
+PowerGraph power_graph(const Graph& g, int k);
+
+/// Rounds on the base graph equivalent to `rounds` on G^k.
+[[nodiscard]] constexpr int base_rounds(int k, int rounds) {
+  return k * rounds;
+}
+
+}  // namespace padlock

@@ -1,0 +1,50 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace padlock {
+
+BallExtract extract_ball(const Graph& g, NodeId center, int radius) {
+  PADLOCK_REQUIRE(center < g.num_nodes());
+  PADLOCK_REQUIRE(radius >= 0);
+
+  BallExtract ball;
+  std::queue<NodeId> q;
+  auto visit = [&](NodeId v, int d) {
+    if (ball.from_original.contains(v)) return;
+    const auto nid = static_cast<NodeId>(ball.to_original.size());
+    ball.from_original.emplace(v, nid);
+    ball.to_original.push_back(v);
+    ball.dist.push_back(d);
+    q.push(v);
+  };
+  visit(center, 0);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    const int d = ball.dist[ball.from_original.at(u)];
+    if (d >= radius) continue;
+    for (int p = 0; p < g.degree(u); ++p) visit(g.neighbor(u, p), d + 1);
+  }
+
+  GraphBuilder b(ball.to_original.size());
+  b.add_nodes(ball.to_original.size());
+  // Edges in original edge-id order so interior port order is preserved.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const auto iu = ball.from_original.find(u);
+    const auto iv = ball.from_original.find(v);
+    if (iu == ball.from_original.end() || iv == ball.from_original.end())
+      continue;
+    const bool u_interior = ball.dist[iu->second] <= radius - 1;
+    const bool v_interior = ball.dist[iv->second] <= radius - 1;
+    if (!u_interior && !v_interior) continue;
+    b.add_edge(iu->second, iv->second);
+    ball.edge_to_original.push_back(e);
+  }
+  ball.graph = std::move(b).build();
+  return ball;
+}
+
+}  // namespace padlock

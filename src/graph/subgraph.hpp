@@ -1,0 +1,49 @@
+// Ball extraction — materializes the radius-r view of a node as a
+// standalone graph, preserving ids and (for interior nodes) port order.
+//
+// Used by locality audits: a T-round LOCAL algorithm's output at v must be
+// reproducible from ball(v, T) alone; tests re-run decision rules on the
+// extracted ball and compare against the full-graph run.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+
+namespace padlock {
+
+struct BallExtract {
+  Graph graph;
+  /// new node id -> original node id (index 0 is the center).
+  std::vector<NodeId> to_original;
+  /// original node id -> new node id (only for extracted nodes).
+  std::unordered_map<NodeId, NodeId> from_original;
+  /// new edge id -> original edge id.
+  std::vector<EdgeId> edge_to_original;
+  /// Distance of each extracted node from the center.
+  std::vector<int> dist;
+
+  [[nodiscard]] NodeId center() const { return 0; }
+};
+
+/// Extracts ball(center, radius): nodes at distance <= radius and edges with
+/// an endpoint at distance <= radius - 1 (exactly the information a node
+/// holds after `radius` rounds). Nodes at distance == radius keep only the
+/// extracted subset of their ports ("halo" nodes: their degree in the
+/// extract understates their true degree — callers must not rely on it).
+/// Port order of interior nodes is preserved because edges are inserted in
+/// original edge-id order, which is the order ports were assigned in.
+BallExtract extract_ball(const Graph& g, NodeId center, int radius);
+
+/// Restricts a node map to the extracted ball.
+template <typename T>
+NodeMap<T> restrict_to_ball(const BallExtract& ball, const NodeMap<T>& map) {
+  NodeMap<T> out(ball.graph.num_nodes(), T{});
+  for (NodeId v = 0; v < ball.graph.num_nodes(); ++v)
+    out[v] = map[ball.to_original[v]];
+  return out;
+}
+
+}  // namespace padlock

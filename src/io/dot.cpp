@@ -1,0 +1,89 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+
+namespace padlock::io {
+
+namespace {
+
+const char* edge_op(bool directed) { return directed ? " -> " : " -- "; }
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Graph& g, const DotStyle& style) {
+  os << (style.directed ? "digraph " : "graph ") << style.graph_name << " {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    if (style.node_attrs) {
+      const std::string a = style.node_attrs(v);
+      if (!a.empty()) os << " [" << a << "]";
+    }
+    os << ";\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    os << "  n" << u << edge_op(style.directed) << "n" << v;
+    if (style.edge_attrs) {
+      const std::string a = style.edge_attrs(e);
+      if (!a.empty()) os << " [" << a << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_gadget_dot(std::ostream& os, const GadgetInstance& inst) {
+  DotStyle style;
+  style.graph_name = "gadget";
+  const GadgetLabels& lab = inst.labels;
+  style.node_attrs = [&](NodeId v) {
+    std::ostringstream a;
+    if (lab.center[v]) {
+      a << "label=\"C\", shape=doublecircle";
+    } else if (lab.port[v] > 0) {
+      a << "label=\"P" << lab.port[v] << "\", shape=box";
+    } else {
+      a << "label=\"" << lab.index[v] << "\", shape=circle";
+    }
+    return a.str();
+  };
+  const Graph& g = inst.graph;
+  style.edge_attrs = [&](EdgeId e) -> std::string {
+    const HalfEdge h0{e, 0};
+    const int l = lab.half[h0];
+    if (l == kHalfRight || l == kHalfLeft) return "style=dashed";
+    if (l == kHalfUp || is_down_label(l)) return "color=blue";
+    return {};
+  };
+  write_dot(os, g, style);
+}
+
+void write_padded_dot(std::ostream& os, const PaddedInstance& inst) {
+  DotStyle style;
+  style.graph_name = "padded";
+  const GadgetLabels& lab = inst.gadget;
+  style.node_attrs = [&](NodeId v) {
+    std::ostringstream a;
+    if (lab.center[v]) {
+      a << "shape=doublecircle, label=\"C\"";
+    } else if (lab.port[v] > 0) {
+      a << "shape=box, label=\"P" << lab.port[v] << "\"";
+    } else {
+      a << "shape=point";
+    }
+    return a.str();
+  };
+  style.edge_attrs = [&](EdgeId e) -> std::string {
+    if (inst.port_edge[e]) return "color=red, penwidth=2";
+    return "color=gray";
+  };
+  write_dot(os, inst.graph, style);
+}
+
+std::string dot_string(const Graph& g, const DotStyle& style) {
+  std::ostringstream os;
+  write_dot(os, g, style);
+  return os.str();
+}
+
+}  // namespace padlock::io

@@ -1,0 +1,41 @@
+// Graphviz DOT export — for inspecting gadgets, padded instances, and
+// solver outputs visually (`dot -Tsvg`). Pure serialization; nothing here
+// affects algorithms or round accounting.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "core/padded_graph.hpp"
+#include "gadget/gadget.hpp"
+#include "graph/graph.hpp"
+
+namespace padlock::io {
+
+/// Per-element attribute hooks: return a DOT attribute list body (e.g.
+/// "label=\"v3\", color=red") or an empty string for defaults.
+struct DotStyle {
+  std::function<std::string(NodeId)> node_attrs;
+  std::function<std::string(EdgeId)> edge_attrs;
+  bool directed = false;
+  std::string graph_name = "padlock";
+};
+
+/// Writes `g` in DOT format. Self-loops and parallel edges are emitted
+/// verbatim (DOT supports both).
+void write_dot(std::ostream& os, const Graph& g, const DotStyle& style = {});
+
+/// Gadget rendering: ports are boxes labeled P_i, the center a double
+/// circle, tree edges solid, level (Right/Left) edges dashed; each node is
+/// annotated with its sub-gadget index.
+void write_gadget_dot(std::ostream& os, const GadgetInstance& inst);
+
+/// Padded instance rendering: PortEdges bold red, GadEdges gray; nodes
+/// carry index/port/center annotations.
+void write_padded_dot(std::ostream& os, const PaddedInstance& inst);
+
+/// Convenience: render to a string (used by tests and the CLI).
+std::string dot_string(const Graph& g, const DotStyle& style = {});
+
+}  // namespace padlock::io

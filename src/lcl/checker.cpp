@@ -1,0 +1,76 @@
+#include "lcl/checker.hpp"
+
+namespace padlock {
+
+void fill_node_env(const Graph& g, NodeId v, const NeLabeling& input,
+                   const NeLabeling& output, NodeEnvStorage& storage) {
+  const int deg = g.degree(v);
+  storage.edge_in.resize(static_cast<std::size_t>(deg));
+  storage.edge_out.resize(static_cast<std::size_t>(deg));
+  storage.half_in.resize(static_cast<std::size_t>(deg));
+  storage.half_out.resize(static_cast<std::size_t>(deg));
+  for (int p = 0; p < deg; ++p) {
+    const HalfEdge h = g.incidence(v, p);
+    const auto i = static_cast<std::size_t>(p);
+    storage.edge_in[i] = input.edge[h.edge];
+    storage.edge_out[i] = output.edge[h.edge];
+    storage.half_in[i] = input.half[h];
+    storage.half_out[i] = output.half[h];
+  }
+  storage.env = NodeEnv{
+      .degree = deg,
+      .node_in = input.node[v],
+      .node_out = output.node[v],
+      .edge_in = storage.edge_in,
+      .edge_out = storage.edge_out,
+      .half_in = storage.half_in,
+      .half_out = storage.half_out,
+  };
+}
+
+EdgeEnv make_edge_env(const Graph& g, EdgeId e, const NeLabeling& input,
+                      const NeLabeling& output) {
+  EdgeEnv env;
+  env.self_loop = g.is_self_loop(e);
+  env.edge_in = input.edge[e];
+  env.edge_out = output.edge[e];
+  for (int side = 0; side < 2; ++side) {
+    const NodeId v = g.endpoint(e, side);
+    const HalfEdge h{e, side};
+    env.node_in[side] = input.node[v];
+    env.node_out[side] = output.node[v];
+    env.half_in[side] = input.half[h];
+    env.half_out[side] = output.half[h];
+  }
+  return env;
+}
+
+CheckResult check_ne_lcl(const Graph& g, const NeLcl& lcl,
+                         const NeLabeling& input, const NeLabeling& output,
+                         std::size_t max_violations) {
+  PADLOCK_REQUIRE(input.node.size() == g.num_nodes());
+  PADLOCK_REQUIRE(output.node.size() == g.num_nodes());
+
+  CheckResult result;
+  NodeEnvStorage storage;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    fill_node_env(g, v, input, output, storage);
+    if (!lcl.node_ok(storage.env)) {
+      result.ok = false;
+      if (result.violations.size() < max_violations)
+        result.violations.push_back(
+            {Violation::Site::kNode, v, kNoEdge});
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!lcl.edge_ok(make_edge_env(g, e, input, output))) {
+      result.ok = false;
+      if (result.violations.size() < max_violations)
+        result.violations.push_back(
+            {Violation::Site::kEdge, kNoNode, e});
+    }
+  }
+  return result;
+}
+
+}  // namespace padlock

@@ -1,0 +1,88 @@
+// Node-edge-checkable LCLs (ne-LCLs), exactly as defined in §2 of the paper:
+//
+//  * inputs and outputs live on nodes V, edges E, and half-edges
+//    B = {(v,e) : v ∈ e};
+//  * correctness is expressed by a node constraint C_N — a predicate over
+//    the configuration at a node v (labels of v, of its incident edges, and
+//    of its own half-edges, listed in port order) — and an edge constraint
+//    C_E — a predicate over the configuration at an edge {u,v} (labels of
+//    u, v, e, (u,e), (v,e));
+//  * constraints may not depend on ids or port numbers, only on the labels
+//    (the environment structs expose exactly the paper's scopes).
+//
+// Label alphabets are constant-size per problem; we represent labels as
+// int32 values with problem-defined meaning (0 is the conventional "empty
+// label" ε).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+
+namespace padlock {
+
+// 64 bits so that one padding level's structure labels (index, port,
+// center, coloring, PortEdge flag) can be carried as the inner problem's
+// input labels when LCLs are padded recursively (Theorem 11).
+using Label = std::int64_t;
+
+inline constexpr Label kEmptyLabel = 0;
+
+/// A full labeling of V ∪ E ∪ B (used both for inputs and outputs).
+struct NeLabeling {
+  NodeMap<Label> node;
+  EdgeMap<Label> edge;
+  HalfEdgeMap<Label> half;
+
+  NeLabeling() = default;
+  explicit NeLabeling(const Graph& g)
+      : node(g, kEmptyLabel), edge(g, kEmptyLabel), half(g, kEmptyLabel) {}
+
+  friend bool operator==(const NeLabeling&, const NeLabeling&) = default;
+};
+
+/// The configuration C_N may inspect at a node (paper §2): the node's own
+/// labels plus, for each port p, the labels of the incident edge and of the
+/// node's own half of that edge.
+struct NodeEnv {
+  int degree = 0;
+  Label node_in = kEmptyLabel;
+  Label node_out = kEmptyLabel;
+  std::span<const Label> edge_in;   // per port
+  std::span<const Label> edge_out;  // per port
+  std::span<const Label> half_in;   // per port (this node's side)
+  std::span<const Label> half_out;  // per port (this node's side)
+};
+
+/// The configuration C_E may inspect at an edge e = {u,v}: labels of u, v,
+/// e, (u,e), (v,e). Side 0/1 follow the edge's endpoint order; constraints
+/// must be symmetric under swapping sides unless the problem's input labels
+/// break the symmetry.
+struct EdgeEnv {
+  bool self_loop = false;
+  Label edge_in = kEmptyLabel;
+  Label edge_out = kEmptyLabel;
+  Label node_in[2] = {kEmptyLabel, kEmptyLabel};
+  Label node_out[2] = {kEmptyLabel, kEmptyLabel};
+  Label half_in[2] = {kEmptyLabel, kEmptyLabel};
+  Label half_out[2] = {kEmptyLabel, kEmptyLabel};
+};
+
+/// Interface of an ne-LCL problem Π = (Σ_in, Σ_out, C_N, C_E).
+class NeLcl {
+ public:
+  virtual ~NeLcl() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Node constraint C_N.
+  [[nodiscard]] virtual bool node_ok(const NodeEnv& env) const = 0;
+
+  /// Edge constraint C_E.
+  [[nodiscard]] virtual bool edge_ok(const EdgeEnv& env) const = 0;
+};
+
+}  // namespace padlock

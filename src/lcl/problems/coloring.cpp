@@ -1,0 +1,38 @@
+#include "lcl/problems/coloring.hpp"
+
+#include "lcl/checker.hpp"
+
+namespace padlock {
+
+ProperColoring::ProperColoring(int num_colors) : k_(num_colors) {
+  PADLOCK_REQUIRE(num_colors >= 1);
+}
+
+std::string ProperColoring::name() const {
+  return "proper-" + std::to_string(k_) + "-coloring";
+}
+
+bool ProperColoring::node_ok(const NodeEnv& env) const {
+  return env.node_out >= 1 && env.node_out <= k_;
+}
+
+bool ProperColoring::edge_ok(const EdgeEnv& env) const {
+  if (env.self_loop) return false;
+  return env.node_out[0] != env.node_out[1];
+}
+
+NeLabeling colors_to_labeling(const Graph& g, const NodeMap<int>& colors) {
+  PADLOCK_REQUIRE(colors.size() == g.num_nodes());
+  NeLabeling out(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    out.node[v] = static_cast<Label>(colors[v]);
+  return out;
+}
+
+bool is_proper_coloring(const Graph& g, const NodeMap<int>& colors, int k) {
+  const ProperColoring lcl(k);
+  const NeLabeling input(g);
+  return check_ne_lcl(g, lcl, input, colors_to_labeling(g, colors)).ok;
+}
+
+}  // namespace padlock

@@ -1,0 +1,33 @@
+// Proper node coloring as an ne-LCL.
+//
+// Node outputs are colors 1..k (label 0 = ε is illegal); the edge constraint
+// requires distinct endpoint colors. Self-loops are unsatisfiable, matching
+// the combinatorial reality.
+//
+// For k = 3 on cycles this is the classic Θ(log* n) problem (Cole–Vishkin /
+// Linial), one of the landscape points of Figure 1.
+#pragma once
+
+#include "lcl/ne_lcl.hpp"
+
+namespace padlock {
+
+class ProperColoring final : public NeLcl {
+ public:
+  explicit ProperColoring(int num_colors);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int num_colors() const { return k_; }
+
+  [[nodiscard]] bool node_ok(const NodeEnv& env) const override;
+  [[nodiscard]] bool edge_ok(const EdgeEnv& env) const override;
+
+ private:
+  int k_;
+};
+
+/// Colors as node data (1-based); helper conversions.
+NeLabeling colors_to_labeling(const Graph& g, const NodeMap<int>& colors);
+bool is_proper_coloring(const Graph& g, const NodeMap<int>& colors, int k);
+
+}  // namespace padlock

@@ -1,0 +1,37 @@
+// Proper edge coloring as an ne-LCL — one of the "many other natural
+// problems" the paper's §2 lists next to sinkless orientation.
+//
+// Colors 1..k live on edges; both endpoints of an edge must see pairwise
+// distinct colors on their incident edges. In the ne-LCL formalism the
+// color is the edge output label, and C_N requires all incident edge
+// colors distinct (C_E only checks the range). Self-loops are
+// unsatisfiable — a loop is adjacent to itself.
+//
+// With k = 2Δ - 1 this is solvable in Θ(log* n) rounds (node coloring of
+// the line graph via Linial), the edge analogue of the Figure 1
+// symmetry-breaking landscape point.
+#pragma once
+
+#include "lcl/ne_lcl.hpp"
+
+namespace padlock {
+
+class EdgeColoring final : public NeLcl {
+ public:
+  explicit EdgeColoring(int num_colors);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int num_colors() const { return k_; }
+
+  [[nodiscard]] bool node_ok(const NodeEnv& env) const override;
+  [[nodiscard]] bool edge_ok(const EdgeEnv& env) const override;
+
+ private:
+  int k_;
+};
+
+NeLabeling edge_colors_to_labeling(const Graph& g, const EdgeMap<int>& colors);
+bool is_proper_edge_coloring(const Graph& g, const EdgeMap<int>& colors,
+                             int k);
+
+}  // namespace padlock

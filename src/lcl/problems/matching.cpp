@@ -1,0 +1,62 @@
+#include "lcl/problems/matching.hpp"
+
+#include "lcl/checker.hpp"
+
+namespace padlock {
+
+bool MaximalMatching::node_ok(const NodeEnv& env) const {
+  int matched = 0;
+  for (Label l : env.edge_out) {
+    if (l != kMatched && l != kUnmatched) return false;
+    if (l == kMatched) ++matched;
+  }
+  // A matched self-loop contributes two ports, so `matched > 1` also rejects
+  // self-loop matches, as intended.
+  if (matched > 1) return false;
+  const Label expected = (matched == 1) ? kCovered : kFree;
+  for (Label l : env.half_out)
+    if (l != expected) return false;
+  return true;
+}
+
+bool MaximalMatching::edge_ok(const EdgeEnv& env) const {
+  if (env.edge_out == kMatched)
+    return !env.self_loop && env.half_out[0] == kCovered &&
+           env.half_out[1] == kCovered;
+  if (env.edge_out == kUnmatched) {
+    // A self-loop can never be added to a matching, so maximality imposes
+    // nothing; only the two halves (same node) must agree.
+    if (env.self_loop) return env.half_out[0] == env.half_out[1];
+    return env.half_out[0] == kCovered || env.half_out[1] == kCovered;
+  }
+  return false;
+}
+
+NeLabeling matching_to_labeling(const Graph& g,
+                                const EdgeMap<bool>& in_match) {
+  PADLOCK_REQUIRE(in_match.size() == g.num_edges());
+  NeLabeling out(g);
+  NodeMap<bool> covered(g, false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    out.edge[e] = in_match[e] ? MaximalMatching::kMatched
+                              : MaximalMatching::kUnmatched;
+    if (in_match[e]) {
+      covered[g.endpoint(e, 0)] = true;
+      covered[g.endpoint(e, 1)] = true;
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    for (int side = 0; side < 2; ++side)
+      out.half[HalfEdge{e, side}] = covered[g.endpoint(e, side)]
+                                        ? MaximalMatching::kCovered
+                                        : MaximalMatching::kFree;
+  return out;
+}
+
+bool is_maximal_matching(const Graph& g, const EdgeMap<bool>& in_match) {
+  const MaximalMatching lcl;
+  const NeLabeling input(g);
+  return check_ne_lcl(g, lcl, input, matching_to_labeling(g, in_match)).ok;
+}
+
+}  // namespace padlock

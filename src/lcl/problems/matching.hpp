@@ -1,0 +1,45 @@
+// Maximal matching as an ne-LCL.
+//
+// Encoding (maximality is about *neighbors'* states, which C_N cannot see
+// directly, so nodes replicate their matched-status onto their half-edges —
+// the standard ne-LCL trick the paper mentions in §2):
+//
+//  * edge output: kMatched if the edge is in the matching, kUnmatched
+//    otherwise;
+//  * half-edge output at (v,e): kCovered if v is covered by some matching
+//    edge, kFree otherwise.
+//
+// Node constraint: at most one incident kMatched edge; self-loops are never
+// matched; every own half carries kCovered iff some incident edge is
+// kMatched. Edge constraint: a kUnmatched non-loop edge must have a kCovered
+// half on at least one side (maximality); a kMatched edge has kCovered on
+// both; unmatched self-loops impose nothing (they can never join a
+// matching).
+#pragma once
+
+#include "lcl/ne_lcl.hpp"
+
+namespace padlock {
+
+class MaximalMatching final : public NeLcl {
+ public:
+  static constexpr Label kUnmatched = 1;  // edge labels
+  static constexpr Label kMatched = 2;
+  static constexpr Label kFree = 1;  // half-edge labels
+  static constexpr Label kCovered = 2;
+
+  [[nodiscard]] std::string name() const override {
+    return "maximal-matching";
+  }
+
+  [[nodiscard]] bool node_ok(const NodeEnv& env) const override;
+  [[nodiscard]] bool edge_ok(const EdgeEnv& env) const override;
+};
+
+/// Expands a matched-edge indicator into the full ne-LCL output labeling.
+NeLabeling matching_to_labeling(const Graph& g, const EdgeMap<bool>& in_match);
+
+/// True iff `in_match` is a maximal matching of g.
+bool is_maximal_matching(const Graph& g, const EdgeMap<bool>& in_match);
+
+}  // namespace padlock

@@ -1,0 +1,50 @@
+#include "lcl/problems/mis.hpp"
+
+#include "lcl/checker.hpp"
+
+namespace padlock {
+
+bool MaximalIndependentSet::node_ok(const NodeEnv& env) const {
+  if (env.node_out != kInSet && env.node_out != kOutSet) return false;
+  for (Label l : env.half_out)
+    if (l != kInSet && l != kOutSet) return false;
+  if (env.node_out == kInSet) return true;
+  // Maximality: an isolated node must be in the set; otherwise some claimed
+  // neighbor is in the set.
+  if (env.degree == 0) return false;
+  for (Label l : env.half_out)
+    if (l == kInSet) return true;
+  return false;
+}
+
+bool MaximalIndependentSet::edge_ok(const EdgeEnv& env) const {
+  // Claims match reality on both sides.
+  if (env.half_out[0] != env.node_out[1]) return false;
+  if (env.half_out[1] != env.node_out[0]) return false;
+  // Independence.
+  if (env.node_out[0] == kInSet && env.node_out[1] == kInSet) return false;
+  if (env.self_loop && env.node_out[0] == kInSet) return false;
+  return true;
+}
+
+NeLabeling mis_to_labeling(const Graph& g, const NodeMap<bool>& in_set) {
+  PADLOCK_REQUIRE(in_set.size() == g.num_nodes());
+  NeLabeling out(g);
+  auto label_of = [&](NodeId v) {
+    return in_set[v] ? MaximalIndependentSet::kInSet
+                     : MaximalIndependentSet::kOutSet;
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out.node[v] = label_of(v);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    for (int side = 0; side < 2; ++side)
+      out.half[HalfEdge{e, side}] = label_of(g.endpoint(e, 1 - side));
+  return out;
+}
+
+bool is_mis(const Graph& g, const NodeMap<bool>& in_set) {
+  const MaximalIndependentSet lcl;
+  const NeLabeling input(g);
+  return check_ne_lcl(g, lcl, input, mis_to_labeling(g, in_set)).ok;
+}
+
+}  // namespace padlock

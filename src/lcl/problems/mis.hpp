@@ -1,0 +1,32 @@
+// Maximal independent set as an ne-LCL.
+//
+// Encoding: node output kInSet / kOutSet; the half-edge at (v,e) carries v's
+// *claim about the opposite endpoint's* membership (the constant-distance
+// output replication trick from §2 of the paper). Then:
+//
+//  * edge constraint: each half's claim equals the far endpoint's actual
+//    output, and not both endpoints are in the set (independence; a
+//    self-loop with its node in the set is rejected);
+//  * node constraint: a node out of the set has at least one half claiming
+//    an in-set neighbor (maximality / domination).
+#pragma once
+
+#include "lcl/ne_lcl.hpp"
+
+namespace padlock {
+
+class MaximalIndependentSet final : public NeLcl {
+ public:
+  static constexpr Label kOutSet = 1;  // node labels; half labels reuse them
+  static constexpr Label kInSet = 2;
+
+  [[nodiscard]] std::string name() const override { return "mis"; }
+
+  [[nodiscard]] bool node_ok(const NodeEnv& env) const override;
+  [[nodiscard]] bool edge_ok(const EdgeEnv& env) const override;
+};
+
+NeLabeling mis_to_labeling(const Graph& g, const NodeMap<bool>& in_set);
+bool is_mis(const Graph& g, const NodeMap<bool>& in_set);
+
+}  // namespace padlock

@@ -1,0 +1,39 @@
+#include "lcl/problems/sinkless_orientation.hpp"
+
+#include "lcl/checker.hpp"
+
+namespace padlock {
+
+NeLabeling orientation_to_labeling(const Graph& g, const Orientation& tails) {
+  PADLOCK_REQUIRE(tails.size() == g.num_edges());
+  NeLabeling out(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const int tail = tails[e];
+    PADLOCK_REQUIRE(tail == 0 || tail == 1);
+    out.half[HalfEdge{e, tail}] = SinklessOrientation::kOut;
+    out.half[HalfEdge{e, 1 - tail}] = SinklessOrientation::kIn;
+  }
+  return out;
+}
+
+Orientation labeling_to_orientation(const Graph& g, const NeLabeling& out) {
+  Orientation tails(g, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Label a = out.half[HalfEdge{e, 0}];
+    const Label b = out.half[HalfEdge{e, 1}];
+    PADLOCK_REQUIRE((a == SinklessOrientation::kOut &&
+                     b == SinklessOrientation::kIn) ||
+                    (a == SinklessOrientation::kIn &&
+                     b == SinklessOrientation::kOut));
+    tails[e] = (a == SinklessOrientation::kOut) ? 0 : 1;
+  }
+  return tails;
+}
+
+bool is_sinkless(const Graph& g, const Orientation& tails) {
+  const SinklessOrientation lcl;
+  const NeLabeling input(g);
+  return check_ne_lcl(g, lcl, input, orientation_to_labeling(g, tails)).ok;
+}
+
+}  // namespace padlock

@@ -1,0 +1,68 @@
+// Sinkless orientation in the node-edge pair formalism (Figure 3 of the
+// paper).
+//
+// Outputs live on half-edges: each (v,e) is labeled Out (edge oriented away
+// from v) or In (oriented toward v).
+//  * Edge constraint: the two halves disagree — one In, one Out — so the
+//    edge carries a consistent orientation.
+//  * Node constraint: every node of degree >= 3 has at least one incident
+//    Out half. Nodes of degree <= 2 are unconstrained (the problem is
+//    defined on graphs of minimum degree 3; allowing small-degree nodes to
+//    be sinks keeps the problem an LCL on all bounded-degree graphs).
+//
+// This problem Π_1 is the base of the paper's hierarchy: deterministic
+// complexity Θ(log n), randomized Θ(log log n).
+#pragma once
+
+#include "lcl/ne_lcl.hpp"
+
+namespace padlock {
+
+class SinklessOrientation final : public NeLcl {
+ public:
+  // Half-edge output labels.
+  static constexpr Label kIn = 1;
+  static constexpr Label kOut = 2;
+
+  /// Degree threshold above which a node must not be a sink.
+  static constexpr int kMinConstrainedDegree = 3;
+
+  [[nodiscard]] std::string name() const override {
+    return "sinkless-orientation";
+  }
+
+  [[nodiscard]] bool node_ok(const NodeEnv& env) const override {
+    if (env.degree < kMinConstrainedDegree) return halves_legal(env);
+    for (Label l : env.half_out)
+      if (l == kOut) return halves_legal(env);
+    return false;
+  }
+
+  [[nodiscard]] bool edge_ok(const EdgeEnv& env) const override {
+    const Label a = env.half_out[0];
+    const Label b = env.half_out[1];
+    return (a == kIn && b == kOut) || (a == kOut && b == kIn);
+  }
+
+ private:
+  static bool halves_legal(const NodeEnv& env) {
+    for (Label l : env.half_out)
+      if (l != kIn && l != kOut) return false;
+    return true;
+  }
+};
+
+/// Orientation as edge data: the value is the *tail side* (0 or 1) of the
+/// edge, i.e. the side whose half is labeled Out.
+using Orientation = EdgeMap<int>;
+
+/// Expands an orientation into the ne-LCL output labeling.
+NeLabeling orientation_to_labeling(const Graph& g, const Orientation& tails);
+
+/// Inverse of orientation_to_labeling (asserts labels are well-formed).
+Orientation labeling_to_orientation(const Graph& g, const NeLabeling& out);
+
+/// Convenience check: is `tails` a sinkless orientation of g?
+bool is_sinkless(const Graph& g, const Orientation& tails);
+
+}  // namespace padlock

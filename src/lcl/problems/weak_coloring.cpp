@@ -1,0 +1,77 @@
+#include "lcl/problems/weak_coloring.hpp"
+
+#include "support/check.hpp"
+
+namespace padlock {
+
+namespace {
+
+// Half-edge output encoding: claimed far-end color (1 or 2) plus
+// kLoopFlag if the node claims the edge is a self-loop.
+constexpr Label kLoopFlag = 4;
+
+constexpr Label far_claim(Label half) { return half & 3; }
+constexpr bool loop_claim(Label half) { return (half & kLoopFlag) != 0; }
+
+}  // namespace
+
+std::string WeakColoring::name() const { return "weak-2-coloring"; }
+
+bool WeakColoring::node_ok(const NodeEnv& env) const {
+  if (env.node_out != 1 && env.node_out != 2) return false;
+  if (env.degree == 0) return true;
+  bool all_loops = true;
+  for (int p = 0; p < env.degree; ++p) {
+    const Label h = env.half_out[static_cast<std::size_t>(p)];
+    if (far_claim(h) != 1 && far_claim(h) != 2) return false;
+    if (loop_claim(h)) continue;
+    all_loops = false;
+    if (far_claim(h) != env.node_out) return true;  // opposite witness found
+  }
+  // Exempt only nodes whose every incidence is a (truthful, per C_E)
+  // self-loop.
+  return all_loops;
+}
+
+bool WeakColoring::edge_ok(const EdgeEnv& env) const {
+  for (int s = 0; s < 2; ++s) {
+    const Label h = env.half_out[s];
+    if (loop_claim(h) != env.self_loop) return false;
+    if (far_claim(h) != env.node_out[1 - s]) return false;
+  }
+  return true;
+}
+
+NeLabeling weak_coloring_to_labeling(const Graph& g,
+                                     const NodeMap<int>& colors) {
+  NeLabeling out(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    PADLOCK_REQUIRE(colors[v] == 1 || colors[v] == 2);
+    out.node[v] = colors[v];
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const Label flag = g.is_self_loop(e) ? kLoopFlag : 0;
+    out.half[HalfEdge{e, 0}] = colors[v] + flag;
+    out.half[HalfEdge{e, 1}] = colors[u] + flag;
+  }
+  return out;
+}
+
+bool is_weak_2coloring(const Graph& g, const NodeMap<int>& colors) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (colors[v] != 1 && colors[v] != 2) return false;
+    bool has_proper_neighbor = false;
+    bool has_opposite = false;
+    for (int p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p);
+      if (u == v) continue;
+      has_proper_neighbor = true;
+      if (colors[u] != colors[v]) has_opposite = true;
+    }
+    if (has_proper_neighbor && !has_opposite) return false;
+  }
+  return true;
+}
+
+}  // namespace padlock

@@ -1,0 +1,43 @@
+// Weak 2-coloring as an ne-LCL — the problem Naor and Stockmeyer used to
+// show that *some* nontrivial LCLs are solvable in constant time on
+// restricted graph classes, and a natural Θ(log* n) point of the Figure 1
+// landscape on general bounded-degree graphs.
+//
+// Every node outputs a color in {1, 2}; a node with at least one proper
+// neighbor (self-loops do not count) must have a neighbor of the opposite
+// color. Isolated and loop-only nodes are exempt — they have no neighbor
+// to disagree with.
+#pragma once
+
+#include "lcl/ne_lcl.hpp"
+
+namespace padlock {
+
+class WeakColoring final : public NeLcl {
+ public:
+  [[nodiscard]] std::string name() const override;
+
+  /// C_N checks only the range: happiness is a property of the neighbor
+  /// multiset, which C_N cannot see (edge outputs carry the endpoint
+  /// colors so that C_E can).
+  [[nodiscard]] bool node_ok(const NodeEnv& env) const override;
+
+  /// Each node copies its color onto its half-edges; C_E checks the copy
+  /// is faithful. Happiness is certified through the half-edge outputs:
+  /// a node marks one half-edge as its *witness* (adds 2 to the copied
+  /// color), and C_E rejects a witness half whose far side has the same
+  /// color.
+  [[nodiscard]] bool edge_ok(const EdgeEnv& env) const override;
+};
+
+/// Builds the ne-labeling (node colors + per-half color copies + witness
+/// marks) from plain colors. Picks, for every non-exempt node, the first
+/// opposite-colored neighbor as the witness; asserts one exists.
+NeLabeling weak_coloring_to_labeling(const Graph& g,
+                                     const NodeMap<int>& colors);
+
+/// True iff `colors` ∈ {1,2} everywhere and every node with a proper
+/// neighbor has an oppositely colored neighbor.
+bool is_weak_2coloring(const Graph& g, const NodeMap<int>& colors);
+
+}  // namespace padlock

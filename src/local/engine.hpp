@@ -1,0 +1,50 @@
+// Gather engine: runs a per-node gather algorithm at every node and reports
+// the LOCAL round complexity (max over nodes of the final view radius).
+//
+// A gather algorithm is any callable `void fn(LocalView& view, NodeId v)`
+// that reads the graph exclusively through `view` and records its output in
+// caller-owned label maps. The engine does not interpret outputs; it only
+// owns round accounting.
+//
+// Batch algorithms (e.g. the deterministic sinkless-orientation solver) that
+// compute all outputs with global data structures report per-node radii via
+// `RoundReport` directly; tests cross-check them against a per-node gather
+// run of the same rule.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+#include "local/view.hpp"
+
+namespace padlock {
+
+/// Round accounting of one algorithm execution.
+struct RoundReport {
+  /// Per-node gather radius (== rounds spent by that node).
+  NodeMap<int> node_rounds;
+  /// max over nodes; 0 for the empty graph.
+  int rounds = 0;
+
+  static RoundReport from(NodeMap<int> per_node) {
+    RoundReport r{std::move(per_node), 0};
+    for (int x : r.node_rounds) r.rounds = std::max(r.rounds, x);
+    return r;
+  }
+};
+
+/// Runs `fn` once per node with a fresh LocalView and collects radii.
+template <typename Fn>
+RoundReport run_gather(const Graph& g, ViewMode mode, Fn&& fn) {
+  NodeMap<int> per_node(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    LocalView view(g, v, mode);
+    fn(view, v);
+    per_node[v] = view.radius();
+  }
+  return RoundReport::from(std::move(per_node));
+}
+
+}  // namespace padlock

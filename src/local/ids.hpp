@@ -1,0 +1,33 @@
+// Unique identifier assignments.
+//
+// In the LOCAL model nodes carry unique ids from {1, …, poly(n)} (§1 of the
+// paper). Different assignment strategies matter: deterministic algorithms
+// must work for *every* assignment, so tests exercise several.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/labels.hpp"
+
+namespace padlock {
+
+using IdMap = NodeMap<std::uint64_t>;
+
+/// ids 1..n in node order.
+IdMap sequential_ids(const Graph& g);
+
+/// A random permutation of 1..n.
+IdMap shuffled_ids(const Graph& g, std::uint64_t seed);
+
+/// n distinct ids sampled from {1..n^3} (sparse id space, the general case).
+IdMap sparse_ids(const Graph& g, std::uint64_t seed);
+
+/// ids ordered adversarially along a BFS from node 0 (descending with
+/// distance), which maximizes the pain for greedy symmetry breaking.
+IdMap bfs_adversarial_ids(const Graph& g);
+
+/// True iff all ids are distinct and >= 1.
+bool ids_valid(const Graph& g, const IdMap& ids);
+
+}  // namespace padlock

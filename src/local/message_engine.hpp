@@ -1,0 +1,69 @@
+// Synchronous message-passing engine — the round-by-round face of the LOCAL
+// model. Message size and local computation are unbounded (LOCAL), but all
+// algorithms here use small messages anyway.
+//
+// An algorithm models per-node state machines:
+//
+//   struct Alg {
+//     using Message = ...;                       // any regular type
+//     // message to send on `port` of v this round (nullopt = silence)
+//     std::optional<Message> send(NodeId v, int port, int round);
+//     // inbox[p] = message that arrived on port p (nullopt = silence)
+//     void step(NodeId v, std::span<const std::optional<Message>> inbox,
+//               int round);
+//     bool done(NodeId v) const;                  // halted?
+//   };
+//
+// The engine delivers the message sent on port p of u across the edge to the
+// opposite endpoint's port (self-loops deliver between the loop's two ports
+// of the same node). It runs until every node is done and returns the number
+// of rounds executed.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/check.hpp"
+
+namespace padlock {
+
+template <typename Alg>
+int run_message_rounds(const Graph& g, Alg& alg, int max_rounds) {
+  using Message = typename Alg::Message;
+
+  auto all_done = [&] {
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (!alg.done(v)) return false;
+    return true;
+  };
+
+  // outbox/inbox indexed by half-edge: the message traveling *out of* that
+  // half-edge's endpoint.
+  std::vector<std::optional<Message>> outbox(2 * g.num_edges());
+
+  int round = 0;
+  while (!all_done()) {
+    PADLOCK_REQUIRE(round < max_rounds);
+    ++round;
+    // Send phase.
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      for (int p = 0; p < g.degree(v); ++p)
+        outbox[half_edge_index(g.incidence(v, p))] = alg.send(v, p, round);
+    // Deliver + step phase.
+    std::vector<std::optional<Message>> inbox;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      inbox.assign(static_cast<std::size_t>(g.degree(v)), std::nullopt);
+      for (int p = 0; p < g.degree(v); ++p) {
+        const HalfEdge h = g.incidence(v, p);
+        inbox[static_cast<std::size_t>(p)] =
+            outbox[half_edge_index(Graph::opposite(h))];
+      }
+      alg.step(v, std::span<const std::optional<Message>>(inbox), round);
+    }
+  }
+  return round;
+}
+
+}  // namespace padlock

@@ -1,0 +1,89 @@
+#include "local/view.hpp"
+
+#include <algorithm>
+
+namespace padlock {
+
+LocalView::LocalView(const Graph& g, NodeId center, ViewMode mode)
+    : g_(g), center_(center), mode_(mode) {
+  PADLOCK_REQUIRE(center < g.num_nodes());
+}
+
+void LocalView::extend(int r) {
+  PADLOCK_REQUIRE(r >= 0);
+  radius_ = std::max(radius_, r);
+}
+
+void LocalView::materialize() const {
+  if (materialized_radius_ < 0) {
+    ball_.clear();
+    ball_.emplace(center_, 0);
+    frontier_ = {center_};
+    materialized_radius_ = 0;
+  }
+  while (materialized_radius_ < radius_) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier_) {
+      for (int p = 0; p < g_.degree(u); ++p) {
+        const NodeId w = g_.neighbor(u, p);
+        if (ball_.emplace(w, materialized_radius_ + 1).second)
+          next.push_back(w);
+      }
+    }
+    frontier_ = std::move(next);
+    ++materialized_radius_;
+  }
+}
+
+int LocalView::dist(NodeId v) const {
+  materialize();
+  const auto it = ball_.find(v);
+  PADLOCK_REQUIRE(it != ball_.end());
+  return it->second;
+}
+
+bool LocalView::knows_node(NodeId v) const {
+  if (mode_ == ViewMode::kAudit) return true;
+  materialize();
+  return ball_.contains(v);
+}
+
+bool LocalView::knows_ports(NodeId v) const {
+  if (mode_ == ViewMode::kAudit) return true;
+  materialize();
+  const auto it = ball_.find(v);
+  return it != ball_.end() && it->second < radius_;
+}
+
+void LocalView::check_node(NodeId v) const {
+  if (mode_ == ViewMode::kAudit) return;
+  materialize();
+  if (!ball_.contains(v))
+    contract_failure("locality", "read of node outside gathered ball",
+                     __FILE__, __LINE__);
+}
+
+void LocalView::check_ports(NodeId v) const {
+  if (mode_ == ViewMode::kAudit) return;
+  materialize();
+  const auto it = ball_.find(v);
+  if (it == ball_.end() || it->second >= radius_)
+    contract_failure("locality", "read of ports outside gathered ball",
+                     __FILE__, __LINE__);
+}
+
+void LocalView::check_edge(EdgeId e) const {
+  if (mode_ == ViewMode::kAudit) return;
+  materialize();
+  // An edge is known iff one endpoint lies strictly inside the ball.
+  const auto [u, v] = g_.endpoints(e);
+  const auto iu = ball_.find(u);
+  const auto iv = ball_.find(v);
+  const bool ok = (iu != ball_.end() && iu->second < radius_) ||
+                  (iv != ball_.end() && iv->second < radius_);
+  if (!ok)
+    contract_failure("locality", "read of edge outside gathered ball",
+                     __FILE__, __LINE__);
+}
+
+}  // namespace padlock

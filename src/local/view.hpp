@@ -1,0 +1,121 @@
+// Radius-audited local views — the formal heart of round accounting.
+//
+// A LOCAL algorithm with complexity T is equivalent to: every node gathers
+// its radius-T neighborhood and maps it to an output (§2 of the paper).
+// LocalView models exactly that. An algorithm holds a view centered at its
+// node and may only read graph elements whose information would have reached
+// the center within `radius()` synchronous rounds:
+//
+//   * node data (id, degree, input label) of v — needs radius >= dist(v);
+//   * ports/edges of v (and hence v's neighbors) — needs radius >= dist(v)+1.
+//
+// Two accounting modes share the same algorithm code:
+//
+//   * Strict  — the view materializes the BFS ball and *aborts* on any read
+//     outside it. Used in tests; proves algorithms are genuinely local.
+//   * Audit   — reads pass through unchecked, but the requested radius is
+//     still recorded. Used at bench scale where materializing every ball
+//     would be Θ(n · ball) work. Tests assert Strict ≡ Audit on small
+//     instances (same outputs, same radii).
+//
+// The per-node round cost of a gather algorithm is the final `radius()` of
+// its view; an engine run reports max over nodes, which is the LOCAL time.
+#pragma once
+
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+
+namespace padlock {
+
+enum class ViewMode { kStrict, kAudit };
+
+class LocalView {
+ public:
+  LocalView(const Graph& g, NodeId center, ViewMode mode);
+
+  [[nodiscard]] NodeId center() const { return center_; }
+  [[nodiscard]] int radius() const { return radius_; }
+  [[nodiscard]] ViewMode mode() const { return mode_; }
+  [[nodiscard]] const Graph& graph_for_metrics() const { return g_; }
+
+  /// Gathers further, to radius r (no-op if already >= r). This is the only
+  /// operation that costs communication rounds.
+  void extend(int r);
+
+  /// Distance from the center to v if v is inside the gathered ball.
+  /// Strict mode: aborts when v is outside. Audit mode: unchecked reads
+  /// never call this (it requires ball materialization), so it materializes
+  /// on demand — audit-mode algorithms should prefer the checked accessors.
+  [[nodiscard]] int dist(NodeId v) const;
+
+  /// True iff the node's data (id/degree/input) is within the view.
+  [[nodiscard]] bool knows_node(NodeId v) const;
+  /// True iff all ports of v (and so its incident edges) are within view.
+  [[nodiscard]] bool knows_ports(NodeId v) const;
+
+  // ---- Checked structural accessors (mirror Graph) ----
+
+  [[nodiscard]] int degree(NodeId v) const {
+    check_node(v);
+    return g_.degree(v);
+  }
+  [[nodiscard]] HalfEdge incidence(NodeId v, int port) const {
+    check_ports(v);
+    return g_.incidence(v, port);
+  }
+  [[nodiscard]] NodeId neighbor(NodeId v, int port) const {
+    check_ports(v);
+    return g_.neighbor(v, port);
+  }
+  [[nodiscard]] NodeId endpoint(EdgeId e, int side) const {
+    check_edge(e);
+    return g_.endpoint(e, side);
+  }
+  [[nodiscard]] int port_of(HalfEdge h) const {
+    check_edge(h.edge);
+    return g_.port_of(h);
+  }
+  [[nodiscard]] bool is_self_loop(EdgeId e) const {
+    check_edge(e);
+    return g_.is_self_loop(e);
+  }
+
+  /// Checked read of an arbitrary per-node table (ids, inputs, labels).
+  template <typename Map>
+  [[nodiscard]] decltype(auto) node_data(const Map& map, NodeId v) const {
+    check_node(v);
+    return map[v];
+  }
+
+  /// Checked read of a per-edge table.
+  template <typename Map>
+  [[nodiscard]] decltype(auto) edge_data(const Map& map, EdgeId e) const {
+    check_edge(e);
+    return map[e];
+  }
+
+  /// Checked read of a per-half-edge table.
+  template <typename Map>
+  [[nodiscard]] decltype(auto) half_data(const Map& map, HalfEdge h) const {
+    check_edge(h.edge);
+    return map[h];
+  }
+
+ private:
+  void check_node(NodeId v) const;
+  void check_ports(NodeId v) const;
+  void check_edge(EdgeId e) const;
+  void materialize() const;
+
+  const Graph& g_;
+  NodeId center_;
+  ViewMode mode_;
+  int radius_ = 0;
+  // Strict mode: BFS distances of the gathered ball (lazy, grown by extend).
+  mutable std::unordered_map<NodeId, int> ball_;
+  mutable std::vector<NodeId> frontier_;
+  mutable int materialized_radius_ = -1;
+};
+
+}  // namespace padlock

@@ -1,0 +1,30 @@
+// Lightweight contract checking (Core Guidelines I.6/I.8 style).
+//
+// PADLOCK_REQUIRE is used for preconditions on public API boundaries and for
+// internal invariants; it is active in all build types because the library is
+// a research artifact where silent corruption is worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace padlock {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "padlock: %s failed: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace padlock
+
+#define PADLOCK_REQUIRE(expr)                                             \
+  ((expr) ? (void)0                                                       \
+          : ::padlock::contract_failure("requirement", #expr, __FILE__,   \
+                                        __LINE__))
+
+#define PADLOCK_ASSERT(expr)                                              \
+  ((expr) ? (void)0                                                       \
+          : ::padlock::contract_failure("invariant", #expr, __FILE__,     \
+                                        __LINE__))

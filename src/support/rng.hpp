@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// All randomness in padlock flows from named 64-bit seeds through these
+// generators, so every experiment and test is reproducible bit-for-bit.
+//
+// Design:
+//  * splitmix64 — seed expansion / hashing (public domain algorithm,
+//    Sebastiano Vigna).
+//  * Xoshiro256** — the workhorse generator; satisfies UniformRandomBitGenerator
+//    so it composes with <random> distributions.
+//  * per_node_seed — derives statistically independent per-node streams from a
+//    (seed, node) pair; used to model the LOCAL model's private randomness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace padlock {
+
+/// One step of the splitmix64 sequence; also usable as a 64-bit mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless hash of a 64-bit value built from splitmix64's finalizer.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) with Lemire rejection (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Derives the seed of node `node`'s private random stream for experiment
+/// seed `seed`. Distinct (seed, node) pairs give independent-looking streams.
+std::uint64_t per_node_seed(std::uint64_t seed, std::uint64_t node);
+
+}  // namespace padlock

@@ -1,0 +1,52 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace padlock {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PADLOCK_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PADLOCK_REQUIRE(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string fmt(double value, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, value);
+  return buf;
+}
+
+}  // namespace padlock

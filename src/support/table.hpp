@@ -1,0 +1,33 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// the rows/series the paper's figures correspond to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace padlock {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmt(double value, int prec = 2);
+
+}  // namespace padlock

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "algo/carving.hpp"
+#include "algo/derandomize.hpp"
+#include "algo/luby_mis.hpp"
+#include "graph/builders.hpp"
+#include "lcl/problems/coloring.hpp"
+#include "lcl/problems/mis.hpp"
+
+namespace padlock {
+namespace {
+
+struct DerandCase {
+  const char* name;
+  Graph (*make)(std::size_t, std::uint64_t);
+  std::size_t n;
+};
+
+Graph d_cycle(std::size_t n, std::uint64_t) { return build::cycle(n); }
+Graph d_path(std::size_t n, std::uint64_t) { return build::path(n); }
+Graph d_cubic(std::size_t n, std::uint64_t s) {
+  return build::random_regular_simple(n, 3, s);
+}
+Graph d_dense(std::size_t n, std::uint64_t s) {
+  return build::random_bounded_degree_simple(n, 6, 0.7, s);
+}
+
+class DerandomizeTest : public ::testing::TestWithParam<DerandCase> {};
+
+TEST_P(DerandomizeTest, MisSweepIsMaximalIndependent) {
+  const auto& c = GetParam();
+  const Graph g = c.make(c.n, 21);
+  const IdMap ids = shuffled_ids(g, 5);
+  const auto res = derandomized_mis(g, ids, 77);
+  NodeMap<bool> in_set(g, false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_TRUE(res.output[v] == 1 || res.output[v] == 2) << c.name;
+    in_set[v] = res.output[v] == 1;
+  }
+  EXPECT_TRUE(is_mis(g, in_set)) << c.name;
+  EXPECT_GT(res.rounds, 0);
+  EXPECT_GE(res.rounds, res.sweep_rounds);
+}
+
+TEST_P(DerandomizeTest, ColoringSweepIsProper) {
+  const auto& c = GetParam();
+  const Graph g = c.make(c.n, 22);
+  const IdMap ids = shuffled_ids(g, 6);
+  const auto res = derandomized_coloring(g, ids, 78);
+  NodeMap<int> colors(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) colors[v] = res.output[v];
+  EXPECT_TRUE(is_proper_coloring(g, colors, g.max_degree() + 1)) << c.name;
+}
+
+TEST_P(DerandomizeTest, SweepOverCarvingDecompositionAlsoWorks) {
+  const auto& c = GetParam();
+  const Graph g = c.make(c.n, 23);
+  const IdMap ids = shuffled_ids(g, 7);
+  const Decomposition d = carving_decomposition(g, ids);
+  const auto res = solve_by_decomposition(g, d, mis_completion(ids));
+  NodeMap<bool> in_set(g, false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) in_set[v] = res.output[v] == 1;
+  EXPECT_TRUE(is_mis(g, in_set)) << c.name;
+  EXPECT_EQ(res.colors_used, d.num_colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, DerandomizeTest,
+    ::testing::Values(DerandCase{"cycle", d_cycle, 60},
+                      DerandCase{"path", d_path, 41},
+                      DerandCase{"cubic", d_cubic, 90},
+                      DerandCase{"dense", d_dense, 72}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Derandomize, SweepRoundsScaleWithColorsTimesRadius) {
+  const Graph g = build::random_regular_simple(128, 3, 31);
+  const IdMap ids = shuffled_ids(g, 8);
+  const Decomposition d = network_decomposition(g, ids, 99);
+  const auto res = solve_by_decomposition(g, d, mis_completion(ids));
+  // Each color class costs at most 2*max_radius+1; never more in total.
+  EXPECT_LE(res.sweep_rounds,
+            d.num_colors * (2 * d.max_cluster_radius + 1));
+  EXPECT_GE(res.sweep_rounds, d.num_colors);  // >= 1 round per color
+}
+
+TEST(Derandomize, MatchesQualityOfDirectLuby) {
+  // Not a performance claim — both must simply be valid MIS; sizes are
+  // instance-dependent but should be within a small factor on regular
+  // graphs.
+  const Graph g = build::random_regular_simple(200, 4, 13);
+  const IdMap ids = shuffled_ids(g, 9);
+  const auto der = derandomized_mis(g, ids, 1);
+  const auto lub = luby_mis(g, ids, 2);
+  std::size_t der_size = 0, lub_size = 0;
+  NodeMap<bool> der_set(g, false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    der_set[v] = der.output[v] == 1;
+    der_size += der_set[v] ? 1 : 0;
+    lub_size += lub.in_set[v] ? 1 : 0;
+  }
+  EXPECT_TRUE(is_mis(g, der_set));
+  EXPECT_TRUE(is_mis(g, lub.in_set));
+  EXPECT_GT(der_size, 0u);
+  EXPECT_GT(lub_size, 0u);
+  EXPECT_LT(der_size, 4 * lub_size + 4);
+  EXPECT_LT(lub_size, 4 * der_size + 4);
+}
+
+TEST(Derandomize, ParallelEdgesAreHarmless) {
+  GraphBuilder b;
+  b.add_nodes(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);  // parallel pair
+  b.add_edge(1, 2);
+  const Graph g = std::move(b).build();
+  const IdMap ids = sequential_ids(g);
+  const auto res = derandomized_mis(g, ids, 3);
+  NodeMap<bool> in_set(g, false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) in_set[v] = res.output[v] == 1;
+  EXPECT_TRUE(is_mis(g, in_set));
+}
+
+TEST(Derandomize, EmptyGraph) {
+  const Graph g = GraphBuilder().build();
+  const IdMap ids(g, 0);
+  const auto res = derandomized_mis(g, ids, 5);
+  EXPECT_EQ(res.rounds, 0);
+  EXPECT_EQ(res.output.size(), 0u);
+}
+
+}  // namespace
+}  // namespace padlock

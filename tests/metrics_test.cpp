@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+
+namespace padlock {
+namespace {
+
+TEST(Metrics, BfsDistancesOnPath) {
+  Graph g = build::path(6);
+  const auto d = bfs_distances(g, NodeId{0});
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], static_cast<int>(v));
+}
+
+TEST(Metrics, BfsMultiSource) {
+  Graph g = build::path(7);
+  const auto d = bfs_distances(g, std::vector<NodeId>{0, 6});
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[5], 1);
+}
+
+TEST(Metrics, DisconnectedUnreachable) {
+  GraphBuilder b;
+  b.add_nodes(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  Graph g = std::move(b).build();
+  const auto d = bfs_distances(g, NodeId{0});
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], kUnreachable);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp.count, 2);
+  EXPECT_EQ(comp.id[0], comp.id[1]);
+  EXPECT_NE(comp.id[0], comp.id[2]);
+}
+
+TEST(Metrics, DiameterOfCycle) {
+  EXPECT_EQ(diameter(build::cycle(8)), 4);
+  EXPECT_EQ(diameter(build::cycle(9)), 4);
+  EXPECT_EQ(diameter(build::path(5)), 4);
+}
+
+TEST(Metrics, GirthSpecialCases) {
+  GraphBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  Graph loop = std::move(b).build();
+  EXPECT_EQ(girth(loop), 1);
+
+  GraphBuilder b2;
+  b2.add_nodes(2);
+  b2.add_edge(0, 1);
+  b2.add_edge(0, 1);
+  EXPECT_EQ(girth(std::move(b2).build()), 2);
+
+  EXPECT_EQ(girth(build::torus(3, 3)), 3);  // wrap-around triangles
+  EXPECT_EQ(girth(build::torus(4, 4)), 4);
+  EXPECT_FALSE(girth(build::complete_binary_tree(3)).has_value());
+}
+
+TEST(Metrics, ShortestCycleThroughVertex) {
+  // Triangle with a pendant path: cycle nodes see length 3; pendant nodes
+  // see the same triangle but farther away -> longer through-cycle? No:
+  // no simple cycle passes through the pendant at all.
+  GraphBuilder b;
+  b.add_nodes(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(shortest_cycle_through(g, 0), 3);
+  EXPECT_EQ(shortest_cycle_through(g, 2), 3);
+}
+
+TEST(Metrics, DistanceToCycleOrIrregular) {
+  // Triangle with a 3-chain hanging off node 2; regular_degree = 2 so the
+  // chain endpoints (degree 1) and the triangle (cycle) are targets.
+  GraphBuilder b;
+  b.add_nodes(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  Graph g = std::move(b).build();
+  const auto d = distance_to_cycle_or_irregular(g, 2);
+  EXPECT_EQ(d[0], 0);  // on the triangle
+  EXPECT_EQ(d[2], 0);  // on the triangle (and degree 4 != 2)
+  // node 3 has degree 2 == regular_degree and sits on no cycle: its nearest
+  // targets are node 2 (on the cycle) and node 5 (degree 1), at distance 1.
+  EXPECT_EQ(d[3], 1);
+  EXPECT_EQ(d[4], 1);
+  EXPECT_EQ(d[5], 0);  // degree 1 != 2
+}
+
+TEST(Metrics, BridgesViaDistanceFunction) {
+  // Two triangles joined by a bridge; all bridge-free nodes are at
+  // distance 0 from a cycle.
+  GraphBuilder b;
+  b.add_nodes(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 3);
+  b.add_edge(2, 3);
+  Graph g = std::move(b).build();
+  const auto d = distance_to_cycle_or_irregular(g, 99);  // only cycles count
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], 0) << v;
+}
+
+TEST(Subgraph, BallOfRadiusOne) {
+  Graph g = build::cycle(6);
+  const auto ball = extract_ball(g, 0, 1);
+  // Nodes {0,1,5}; edges incident to node 0 only (the center is the only
+  // interior node).
+  EXPECT_EQ(ball.graph.num_nodes(), 3u);
+  EXPECT_EQ(ball.graph.num_edges(), 2u);
+  EXPECT_EQ(ball.to_original[ball.center()], 0u);
+  EXPECT_EQ(ball.dist[ball.center()], 0);
+}
+
+TEST(Subgraph, InteriorPortOrderPreserved) {
+  Graph g = build::torus(4, 4);
+  const auto ball = extract_ball(g, 5, 2);
+  // Center and its neighbors are interior; their port order must match.
+  const NodeId c = ball.center();
+  ASSERT_EQ(ball.graph.degree(c), g.degree(5));
+  for (int p = 0; p < g.degree(5); ++p) {
+    const NodeId orig_nb = g.neighbor(5, p);
+    const NodeId ball_nb = ball.graph.neighbor(c, p);
+    EXPECT_EQ(ball.to_original[ball_nb], orig_nb);
+  }
+}
+
+TEST(Subgraph, FullRadiusRecoversGraph) {
+  Graph g = build::torus(3, 4);
+  const auto ball = extract_ball(g, 0, 10);
+  EXPECT_EQ(ball.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(ball.graph.num_edges(), g.num_edges());
+}
+
+TEST(Subgraph, PreservesSelfLoopsAndParallels) {
+  GraphBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  Graph g = std::move(b).build();
+  const auto ball = extract_ball(g, 0, 1);
+  EXPECT_EQ(ball.graph.num_edges(), 3u);
+  EXPECT_TRUE(ball.graph.is_self_loop(0));
+}
+
+}  // namespace
+}  // namespace padlock

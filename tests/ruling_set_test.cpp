@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "algo/carving.hpp"
+#include "algo/ruling_set.hpp"
+#include "graph/builders.hpp"
+#include "graph/metrics.hpp"
+
+namespace padlock {
+namespace {
+
+int id_bit_count(std::uint64_t id_space) {
+  int b = 0;
+  while (id_space > 0) {
+    ++b;
+    id_space >>= 1;
+  }
+  return b == 0 ? 1 : b;
+}
+
+// ---- AGLP ruling set -------------------------------------------------------
+
+struct RulingCase {
+  const char* name;
+  Graph (*make)(std::size_t, std::uint64_t);
+  std::size_t n;
+};
+
+Graph make_cycle(std::size_t n, std::uint64_t) { return build::cycle(n); }
+Graph make_path(std::size_t n, std::uint64_t) { return build::path(n); }
+Graph make_cubic(std::size_t n, std::uint64_t s) {
+  return build::random_regular(n, 3, s);
+}
+Graph make_bounded(std::size_t n, std::uint64_t s) {
+  return build::random_bounded_degree(n, 5, 0.6, s);
+}
+Graph make_torus(std::size_t n, std::uint64_t) {
+  const std::size_t side = std::max<std::size_t>(3, n / 8);
+  return build::torus(side, 8);
+}
+
+class RulingSetTest : public ::testing::TestWithParam<RulingCase> {};
+
+TEST_P(RulingSetTest, IndependenceAndDomination) {
+  const auto& c = GetParam();
+  const Graph g = c.make(c.n, 42);
+  for (const std::uint64_t seed : {7ull, 8ull}) {
+    const IdMap ids = shuffled_ids(g, seed);
+    const auto r = ruling_set_aglp(g, ids, g.num_nodes());
+    EXPECT_TRUE(ruling_set_independent(g, r.in_set, 2)) << c.name;
+    const int beta = ruling_set_domination(g, r.in_set);
+    ASSERT_NE(beta, kUnreachable) << c.name;
+    EXPECT_LE(beta, 2 * id_bit_count(g.num_nodes())) << c.name;
+    EXPECT_EQ(r.domination_radius, beta);
+    EXPECT_LE(r.rounds, 2 * id_bit_count(g.num_nodes()));
+  }
+}
+
+TEST_P(RulingSetTest, SparseIdSpaceStillRules) {
+  const auto& c = GetParam();
+  const Graph g = c.make(c.n, 43);
+  const IdMap ids = sparse_ids(g, 3);
+  const std::uint64_t space =
+      static_cast<std::uint64_t>(g.num_nodes()) * g.num_nodes() * g.num_nodes();
+  const auto r = ruling_set_aglp(g, ids, space);
+  EXPECT_TRUE(ruling_set_independent(g, r.in_set, 2)) << c.name;
+  EXPECT_LE(r.domination_radius, 2 * id_bit_count(space)) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, RulingSetTest,
+    ::testing::Values(RulingCase{"cycle", make_cycle, 64},
+                      RulingCase{"path", make_path, 33},
+                      RulingCase{"cubic", make_cubic, 96},
+                      RulingCase{"bounded", make_bounded, 80},
+                      RulingCase{"torus", make_torus, 64}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(RulingSet, SingletonAndEmpty) {
+  {
+    Graph g = GraphBuilder().build();
+    const auto r = ruling_set_aglp(g, IdMap(g, 1), 1);
+    EXPECT_EQ(r.rounds, 0);
+  }
+  {
+    GraphBuilder b;
+    b.add_node();
+    Graph g = std::move(b).build();
+    const auto r = ruling_set_aglp(g, sequential_ids(g), 1);
+    EXPECT_TRUE(r.in_set[0]);
+    EXPECT_EQ(r.domination_radius, 0);
+  }
+}
+
+TEST(RulingSet, AdversarialIdsStayWithinBound) {
+  const Graph g = build::random_regular(128, 3, 5);
+  const IdMap ids = bfs_adversarial_ids(g);
+  const auto r = ruling_set_aglp(g, ids, g.num_nodes());
+  EXPECT_TRUE(ruling_set_independent(g, r.in_set, 2));
+  EXPECT_LE(r.domination_radius, 2 * id_bit_count(g.num_nodes()));
+}
+
+TEST(RulingSet, DominationDetectsEmptySetOnNonemptyGraph) {
+  const Graph g = build::cycle(5);
+  EXPECT_EQ(ruling_set_domination(g, NodeMap<bool>(g, false)), kUnreachable);
+}
+
+TEST(RulingSet, IndependenceRejectsAdjacentPair) {
+  const Graph g = build::path(3);
+  NodeMap<bool> set(g, false);
+  set[0] = set[1] = true;
+  EXPECT_FALSE(ruling_set_independent(g, set, 2));
+  NodeMap<bool> far(g, false);
+  far[0] = far[2] = true;
+  EXPECT_TRUE(ruling_set_independent(g, far, 2));
+  EXPECT_FALSE(ruling_set_independent(g, far, 3));
+}
+
+// ---- deterministic ball carving --------------------------------------------
+
+class CarvingTest : public ::testing::TestWithParam<RulingCase> {};
+
+TEST_P(CarvingTest, ValidDecompositionWithLogQuality) {
+  const auto& c = GetParam();
+  const Graph g = c.make(c.n, 11);
+  const IdMap ids = shuffled_ids(g, 3);
+  const Decomposition d = carving_decomposition(g, ids);
+  const int log_n =
+      id_bit_count(g.num_nodes());  // ceil(log2 n) + 1 >= log2 n
+  EXPECT_TRUE(decomposition_valid(g, d, log_n)) << c.name;
+  EXPECT_LE(d.max_cluster_radius, log_n) << c.name;
+  // Colors: the doubling argument keeps phase counts logarithmic; assert a
+  // generous 2 log2 n + 2 envelope and record violations as regressions.
+  EXPECT_LE(d.num_colors, 2 * log_n + 2) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, CarvingTest,
+    ::testing::Values(RulingCase{"cycle", make_cycle, 64},
+                      RulingCase{"path", make_path, 33},
+                      RulingCase{"cubic", make_cubic, 96},
+                      RulingCase{"bounded", make_bounded, 80},
+                      RulingCase{"torus", make_torus, 64}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Carving, EveryNodeClusteredOnDisconnectedInput) {
+  GraphBuilder b;
+  b.add_nodes(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  // nodes 4, 5 isolated
+  const Graph g = std::move(b).build();
+  const Decomposition d = carving_decomposition(g, sequential_ids(g));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(d.color[v], 1);
+    EXPECT_NE(d.cluster[v], kNoNode);
+  }
+}
+
+TEST(Carving, DeterministicAcrossCalls) {
+  const Graph g = build::random_regular(64, 3, 9);
+  const IdMap ids = shuffled_ids(g, 4);
+  const Decomposition a = carving_decomposition(g, ids);
+  const Decomposition b = carving_decomposition(g, ids);
+  EXPECT_EQ(a.color, b.color);
+  EXPECT_EQ(a.cluster, b.cluster);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Carving, SelfLoopsAndParallelEdgesTolerated) {
+  GraphBuilder b;
+  b.add_nodes(4);
+  b.add_edge(0, 0);  // self-loop
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);  // parallel
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const Decomposition d = carving_decomposition(g, sequential_ids(g));
+  EXPECT_TRUE(decomposition_valid(g, d, 8));
+}
+
+}  // namespace
+}  // namespace padlock

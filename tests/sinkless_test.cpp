@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "algo/sinkless_det.hpp"
+#include "algo/sinkless_rand.hpp"
+#include "graph/builders.hpp"
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+#include "lcl/problems/sinkless_orientation.hpp"
+
+namespace padlock {
+namespace {
+
+// ---- short_cycle_through -----------------------------------------------------
+
+TEST(ShortCycle, TriangleAndPendant) {
+  GraphBuilder b;
+  b.add_nodes(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(short_cycle_through(g, 0, 10), 3);
+  EXPECT_EQ(short_cycle_through(g, 2, 10), 3);
+  EXPECT_FALSE(short_cycle_through(g, 3, 10).has_value());
+  EXPECT_FALSE(short_cycle_through(g, 4, 10).has_value());
+}
+
+TEST(ShortCycle, RespectsBudget) {
+  Graph g = build::cycle(12);
+  EXPECT_FALSE(short_cycle_through(g, 0, 11).has_value());
+  EXPECT_EQ(short_cycle_through(g, 0, 12), 12);
+  EXPECT_EQ(short_cycle_through(g, 0, 20), 12);
+}
+
+TEST(ShortCycle, SelfLoopAndParallel) {
+  GraphBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(short_cycle_through(g, 0, 10), 1);
+  EXPECT_EQ(short_cycle_through(g, 1, 10), 2);
+}
+
+TEST(ShortCycle, MatchesBruteForceOnTorus) {
+  Graph g = build::torus(4, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(short_cycle_through(g, v, 16), 4) << v;
+}
+
+TEST(ShortCycle, DumbbellBarHasNoCycle) {
+  // Two triangles joined by a 3-edge path.
+  GraphBuilder b;
+  b.add_nodes(8);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  b.add_edge(6, 7);
+  b.add_edge(7, 5);
+  Graph g = std::move(b).build();
+  EXPECT_FALSE(short_cycle_through(g, 3, 20).has_value());
+  EXPECT_FALSE(short_cycle_through(g, 4, 20).has_value());
+  EXPECT_EQ(short_cycle_through(g, 5, 20), 3);
+}
+
+// ---- Deterministic algorithm ----------------------------------------------------
+
+class SinklessDetTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(SinklessDetTest, ValidOnRandomCubic) {
+  const auto [n, seed] = GetParam();
+  Graph g = build::random_regular(n, 3, seed);
+  const auto ids = shuffled_ids(g, seed);
+  const auto res = sinkless_orientation_det(g, ids, n);
+  EXPECT_TRUE(is_sinkless(g, res.tails));
+  EXPECT_GT(res.report.rounds, 0);
+}
+
+TEST_P(SinklessDetTest, ValidOnSimpleCubic) {
+  const auto [n, seed] = GetParam();
+  Graph g = build::random_regular_simple(n, 3, seed);
+  const auto res = sinkless_orientation_det(g, shuffled_ids(g, seed), n);
+  EXPECT_TRUE(is_sinkless(g, res.tails));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SinklessDetTest,
+    ::testing::Combine(::testing::Values(8, 32, 64, 128, 256),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(SinklessDet, WorksOnHighGirth) {
+  Graph g = build::high_girth_regular(256, 3, 9, 4);
+  const auto res = sinkless_orientation_det(g, shuffled_ids(g, 4), 256);
+  EXPECT_TRUE(is_sinkless(g, res.tails));
+  // Rounds are O(log n): generous sanity bound.
+  EXPECT_LE(res.report.rounds, 4 * 8 + 10);
+}
+
+TEST(SinklessDet, WorksOnTorusAndMixedDegrees) {
+  Graph torus = build::torus(5, 6);
+  const auto res = sinkless_orientation_det(torus, sequential_ids(torus), 30);
+  EXPECT_TRUE(is_sinkless(torus, res.tails));
+
+  // A graph mixing degree-1, degree-2 and degree-4 nodes.
+  GraphBuilder b;
+  b.add_nodes(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  Graph g = std::move(b).build();
+  const auto res2 = sinkless_orientation_det(g, sequential_ids(g), 7);
+  EXPECT_TRUE(is_sinkless(g, res2.tails));
+}
+
+TEST(SinklessDet, DeterministicInIds) {
+  Graph g = build::random_regular_simple(64, 3, 9);
+  const auto ids = shuffled_ids(g, 3);
+  const auto a = sinkless_orientation_det(g, ids, 64);
+  const auto b = sinkless_orientation_det(g, ids, 64);
+  EXPECT_EQ(a.tails, b.tails);
+}
+
+TEST(SinklessDet, SelfLoopsAndParallelsHandled) {
+  GraphBuilder b;
+  b.add_nodes(4);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 3);
+  Graph g = std::move(b).build();
+  const auto res = sinkless_orientation_det(g, sequential_ids(g), 4);
+  EXPECT_TRUE(is_sinkless(g, res.tails));
+}
+
+// The locality audit: the per-edge rule re-evaluated on the extracted
+// radius-r(v) ball must orient v's incident edges identically. This is what
+// certifies the algorithm is genuinely O(log n)-local.
+TEST(SinklessDet, LocalityAudit) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    Graph g = build::random_regular_simple(48, 3, seed);
+    const auto ids = shuffled_ids(g, seed);
+    const std::size_t n = g.num_nodes();
+    const auto res = sinkless_orientation_det(g, ids, n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const int r = res.report.node_rounds[v];
+      const auto ball = extract_ball(g, v, r);
+      const auto ball_ids = restrict_to_ball(ball, ids);
+      for (int p = 0; p < g.degree(v); ++p) {
+        const HalfEdge h = g.incidence(v, p);
+        // Locate the same edge in the ball.
+        EdgeId ball_edge = kNoEdge;
+        for (EdgeId be = 0; be < ball.graph.num_edges(); ++be)
+          if (ball.edge_to_original[be] == h.edge) {
+            ball_edge = be;
+            break;
+          }
+        ASSERT_NE(ball_edge, kNoEdge);
+        const int tail =
+            sinkless_det_edge_rule(ball.graph, ball_ids, n, ball_edge);
+        EXPECT_EQ(tail, res.tails[h.edge])
+            << "node " << v << " edge " << h.edge << " radius " << r;
+      }
+    }
+  }
+}
+
+TEST(SinklessDet, EdgeRuleMatchesBatchOnFullGraph) {
+  Graph g = build::random_regular(32, 3, 8);
+  const auto ids = shuffled_ids(g, 8);
+  const auto res = sinkless_orientation_det(g, ids, 32);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(sinkless_det_edge_rule(g, ids, 32, e), res.tails[e]) << e;
+}
+
+// ---- Randomized algorithm ---------------------------------------------------------
+
+class SinklessRandTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(SinklessRandTest, ValidOnRandomCubic) {
+  const auto [n, seed] = GetParam();
+  Graph g = build::random_regular(n, 3, seed);
+  const auto res =
+      sinkless_orientation_rand(g, shuffled_ids(g, seed), n, seed);
+  EXPECT_TRUE(is_sinkless(g, res.tails));
+  EXPECT_GT(res.rounds, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SinklessRandTest,
+    ::testing::Combine(::testing::Values(8, 32, 128, 512, 2048),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(SinklessRand, HandlesLoopsParallelsAndLowDegrees) {
+  GraphBuilder b;
+  b.add_nodes(5);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  Graph g = std::move(b).build();
+  const auto res = sinkless_orientation_rand(g, sequential_ids(g), 5, 7);
+  EXPECT_TRUE(is_sinkless(g, res.tails));
+}
+
+TEST(SinklessRand, FasterThanDeterministicAtScale) {
+  // The headline separation at the base level: on a large instance the
+  // randomized round count must be clearly below the deterministic one.
+  Graph g = build::random_regular_simple(8192, 3, 10);
+  const auto ids = shuffled_ids(g, 10);
+  const auto det = sinkless_orientation_det(g, ids, 8192);
+  const auto rnd = sinkless_orientation_rand(g, ids, 8192, 10);
+  EXPECT_TRUE(is_sinkless(g, det.tails));
+  EXPECT_TRUE(is_sinkless(g, rnd.tails));
+  EXPECT_LT(rnd.rounds, det.report.rounds);
+}
+
+TEST(SinklessRand, SingleProposeRound) {
+  EXPECT_EQ(sinkless_rand_propose_schedule(1 << 10), 1);
+  EXPECT_EQ(sinkless_rand_propose_schedule(1 << 20), 1);
+}
+
+TEST(SinklessRand, RepairRadiusStaysTiny) {
+  Graph g = build::random_regular_simple(4096, 3, 21);
+  const auto res = sinkless_orientation_rand(g, shuffled_ids(g, 21), 4096, 21);
+  EXPECT_TRUE(is_sinkless(g, res.tails));
+  // O(log log n) w.h.p.: wildly generous bound.
+  EXPECT_LE(res.max_repair_radius, 10);
+}
+
+TEST(SinklessRand, DeterministicInSeed) {
+  Graph g = build::random_regular_simple(128, 3, 2);
+  const auto ids = shuffled_ids(g, 2);
+  const auto a = sinkless_orientation_rand(g, ids, 128, 42);
+  const auto b = sinkless_orientation_rand(g, ids, 128, 42);
+  EXPECT_EQ(a.tails, b.tails);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace padlock

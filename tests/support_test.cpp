@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace padlock {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceZeroAndOne) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, PerNodeSeedsDiffer) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t node = 0; node < 1000; ++node)
+    seeds.insert(per_node_seed(99, node));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, Mix64Stable) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace padlock
