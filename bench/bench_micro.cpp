@@ -1,12 +1,15 @@
 // E7 — micro benchmarks (google-benchmark): throughput of the hot
-// simulator paths so regressions in the substrate are visible.
+// simulator paths so regressions in the substrate are visible, plus a
+// registry-driven section that benches every registered (problem,
+// algorithm) pair end to end through the unified Runner API (solve +
+// verification) — new registrations join the bench automatically.
 #include <benchmark/benchmark.h>
 
 #include <sstream>
 
-#include "algo/derandomize.hpp"
-#include "algo/sinkless_rand.hpp"
 #include "core/padded_graph.hpp"
+#include "core/registry.hpp"
+#include "core/runner.hpp"
 #include "gadget/path_psi.hpp"
 #include "gadget/verifier.hpp"
 #include "graph/builders.hpp"
@@ -33,31 +36,21 @@ BENCHMARK(BM_BuildRandomRegular)->Arg(1 << 10)->Arg(1 << 14);
 void BM_NeLclChecker(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Graph g = build::random_regular(n, 3, 5);
-  const auto ids = sequential_ids(g);
-  const auto res = sinkless_orientation_rand(g, ids, n, 7);
-  const auto out = orientation_to_labeling(g, res.tails);
+  // A valid solution to check, produced through the registry.
+  RunOptions opts;
+  opts.seed = 7;
+  opts.check = false;
+  const SolveOutcome solved =
+      run("sinkless-orientation", "propose-repair", g, opts);
   const NeLabeling input(g);
   const SinklessOrientation lcl;
   for (auto _ : state) {
-    auto chk = check_ne_lcl(g, lcl, input, out);
+    auto chk = check_ne_lcl(g, lcl, input, solved.output);
     benchmark::DoNotOptimize(chk.ok);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_NeLclChecker)->Arg(1 << 10)->Arg(1 << 14);
-
-void BM_SinklessRand(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Graph g = build::random_regular_simple(n, 3, 3);
-  const auto ids = sequential_ids(g);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    auto res = sinkless_orientation_rand(g, ids, n, seed++);
-    benchmark::DoNotOptimize(res.rounds);
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-}
-BENCHMARK(BM_SinklessRand)->Arg(1 << 10)->Arg(1 << 14);
 
 void BM_GadgetVerifier(benchmark::State& state) {
   const auto inst = build_gadget(3, static_cast<int>(state.range(0)));
@@ -132,17 +125,42 @@ void BM_SerializePaddedRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializePaddedRoundTrip)->Arg(32)->Arg(128);
 
-void BM_DerandomizedMis(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const Graph g = build::random_regular_simple(n, 3, 12);
-  const IdMap ids = shuffled_ids(g, 3);
-  for (auto _ : state) {
-    auto res = derandomized_mis(g, ids, 13);
-    benchmark::DoNotOptimize(res.rounds);
+// One benchmark per registered (problem, algorithm) pair, end to end
+// through the runner: id assignment, solve, round accounting, and the
+// default verification pass. Registered dynamically so the bench iterates
+// the registry instead of hard-coding call sites.
+void register_runner_benchmarks() {
+  static const Graph cubic = build::random_regular_simple(1 << 10, 3, 5);
+  static const Graph cyc = build::cycle(1 << 10);
+  for (const auto& [problem, algo] : AlgorithmRegistry::instance().pairs()) {
+    if (algo->name == "color-reduce") continue;  // O(id_space) rounds
+    const Graph* g = &cubic;
+    if (algo->precondition && !algo->precondition(*g)) g = &cyc;
+    if (algo->precondition && !algo->precondition(*g)) continue;
+    const std::string name =
+        "BM_Runner/" + problem->name + "/" + algo->name;
+    benchmark::RegisterBenchmark(
+        name.c_str(), [problem, algo, g](benchmark::State& state) {
+          RunOptions opts;
+          for (auto _ : state) {
+            ++opts.seed;
+            const SolveOutcome outcome = run(*problem, *algo, *g, opts);
+            benchmark::DoNotOptimize(outcome.verification.ok);
+          }
+          state.SetItemsProcessed(state.iterations() *
+                                  static_cast<int64_t>(g->num_nodes()));
+        });
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
-BENCHMARK(BM_DerandomizedMis)->Arg(1 << 10)->Arg(1 << 12);
 
 }  // namespace
 }  // namespace padlock
+
+int main(int argc, char** argv) {
+  padlock::register_runner_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,15 @@
-// padlock CLI — drive the library from the shell: build gadgets and padded
-// instances, verify them, inject faults, solve the Π_i hierarchy, and
-// export DOT/text artifacts.
+// padlock CLI — registry-driven dispatch into the problem/algorithm
+// landscape, plus the gadget/padding tooling.
 //
-//   padlock_cli gadget   --delta 3 --height 4 [--fault <name>] [--dot] [--verify]
+// The landscape surface (the redesigned API; see docs/API.md):
+//   padlock_cli list     [--problem <name>]
+//   padlock_cli run <problem> <algo> --graph <builder> [--nodes N]
+//                  [--degree D] [--seed S] [--ids <strategy>] [--no-check]
+//       builders:   cycle path torus cubic cubic-simple high-girth bounded
+//       strategies: sequential shuffled sparse adversarial
+//
+// The gadget/padding tooling (unchanged):
+//   padlock_cli gadget   --delta 3 --height 4 [--fault <name>] [--dot]
 //   padlock_cli pad      --base-nodes 16 --delta 3 --height 3 [--dot] [--dump]
 //   padlock_cli solve    --levels 2 --base-nodes 64 [--rand] [--seed 7]
 //   padlock_cli verify   < padded-instance.txt
@@ -12,19 +19,20 @@
 //   padlock_cli pad --base-nodes 9 --dump | padlock_cli verify
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <map>
 #include <string>
 
-#include "algo/sinkless_det.hpp"
-#include "algo/sinkless_rand.hpp"
 #include "core/hierarchy.hpp"
+#include "core/registry.hpp"
+#include "core/runner.hpp"
 #include "gadget/faults.hpp"
 #include "gadget/verifier.hpp"
 #include "graph/builders.hpp"
 #include "io/dot.hpp"
 #include "io/serialize.hpp"
-#include "lcl/problems/sinkless_orientation.hpp"
+#include "support/table.hpp"
 
 using namespace padlock;
 
@@ -57,9 +65,97 @@ Args parse(int argc, char** argv, int first) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: padlock_cli <gadget|pad|solve|verify|export> "
+               "usage: padlock_cli <list|run|gadget|pad|solve|verify|export> "
                "[--options]\n(see header comment of padlock_cli.cpp)\n");
   return 2;
+}
+
+Graph build_graph(const std::string& kind, std::size_t n, int degree,
+                  std::uint64_t seed) {
+  if (kind == "cycle") return build::cycle(n);
+  if (kind == "path") return build::path(n);
+  if (kind == "torus") return build::torus(n / 8 > 0 ? n / 8 : 1, 8);
+  // The regular builders need an even degree sum (same rounding as cmd_pad).
+  if (kind == "cubic" || kind == "cubic-simple") {
+    if (n % 2 != 0) ++n;
+    return kind == "cubic" ? build::random_regular(n, 3, seed)
+                           : build::random_regular_simple(n, 3, seed);
+  }
+  if (kind == "high-girth") {
+    if ((n * static_cast<std::size_t>(degree)) % 2 != 0) ++n;
+    return build::high_girth_regular(n, degree, 6, seed);
+  }
+  if (kind == "bounded") {
+    return build::random_bounded_degree_simple(n, degree, 0.6, seed);
+  }
+  throw RegistryError("unknown graph builder '" + kind +
+                      "'; expected cycle|path|torus|cubic|cubic-simple|"
+                      "high-girth|bounded");
+}
+
+int cmd_list(const Args& a) {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  const std::string filter = a.str("problem", "");
+  Table t({"problem", "algorithm", "mode", "complexity", "requires"});
+  for (const auto& [problem, algo] : registry.pairs()) {
+    if (!filter.empty() && problem->name != filter) continue;
+    t.add_row({problem->name, algo->name,
+               std::string(determinism_name(algo->determinism)),
+               algo->complexity,
+               algo->requires_text.empty() ? "any graph"
+                                           : algo->requires_text});
+  }
+  t.print();
+  if (filter.empty()) {
+    std::printf("%zu (problem, algorithm) pairs over %zu problems\n",
+                registry.num_algos(), registry.num_problems());
+  } else {
+    std::printf("%zu registered algorithm(s) for '%s'\n", t.rows(),
+                filter.c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const std::string& problem, const std::string& algo,
+            const Args& a) {
+  const auto n = static_cast<std::size_t>(a.num("nodes", 64));
+  const int degree = static_cast<int>(a.num("degree", 3));
+  RunOptions opts;
+  opts.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  opts.ids = id_strategy_from_name(a.str("ids", "shuffled"));
+  opts.check = !a.flag("no-check");
+  opts.max_violations = static_cast<std::size_t>(a.num("max-violations", 16));
+
+  const Graph g =
+      build_graph(a.str("graph", "cubic-simple"), n, degree, opts.seed);
+  const SolveOutcome outcome = run(problem, algo, g, opts);
+
+  std::printf("%s/%s on %s (%zu nodes, %zu edges, Delta=%d)\n",
+              problem.c_str(), algo.c_str(),
+              a.str("graph", "cubic-simple").c_str(), g.num_nodes(),
+              g.num_edges(), g.max_degree());
+  std::printf("rounds: %d\n", outcome.rounds.rounds);
+  const std::string stats = outcome.stats.str();
+  if (!stats.empty()) std::printf("stats:  %s\n", stats.c_str());
+  if (!opts.check) {
+    std::printf("verification: skipped (--no-check)\n");
+    return 0;
+  }
+  if (outcome.verification.ok) {
+    std::printf("verification: valid\n");
+    return 0;
+  }
+  std::printf("verification: INVALID (%zu violating sites%s)\n",
+              outcome.verification.total_violations,
+              outcome.verification.truncated ? ", list truncated" : "");
+  for (const Violation& v : outcome.verification.violations) {
+    if (v.site == Violation::Site::kNode) {
+      std::printf("  node %u\n", v.node);
+    } else {
+      std::printf("  edge %u\n", v.edge);
+    }
+  }
+  return 1;
 }
 
 GadgetFault fault_by_name(const std::string& name) {
@@ -181,11 +277,26 @@ int cmd_export(const Args& a) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const Args a = parse(argc, argv, 2);
-  if (cmd == "gadget") return cmd_gadget(a);
-  if (cmd == "pad") return cmd_pad(a);
-  if (cmd == "solve") return cmd_solve(a);
-  if (cmd == "verify") return cmd_verify(a);
-  if (cmd == "export") return cmd_export(a);
+  try {
+    if (cmd == "list") return cmd_list(parse(argc, argv, 2));
+    if (cmd == "run") {
+      if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-') {
+        std::fprintf(stderr,
+                     "usage: padlock_cli run <problem> <algo> [--options]\n"
+                     "(padlock_cli list shows the registered pairs)\n");
+        return 2;
+      }
+      return cmd_run(argv[2], argv[3], parse(argc, argv, 4));
+    }
+    const Args a = parse(argc, argv, 2);
+    if (cmd == "gadget") return cmd_gadget(a);
+    if (cmd == "pad") return cmd_pad(a);
+    if (cmd == "solve") return cmd_solve(a);
+    if (cmd == "verify") return cmd_verify(a);
+    if (cmd == "export") return cmd_export(a);
+  } catch (const RegistryError& e) {
+    std::fprintf(stderr, "padlock_cli: %s\n", e.what());
+    return 2;
+  }
   return usage();
 }

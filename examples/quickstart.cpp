@@ -1,42 +1,54 @@
-// Quickstart: define an instance, run a LOCAL algorithm, verify the output
-// with the ne-LCL checker, and read off the round complexity.
+// Quickstart: pick a (problem, algorithm) pair from the registry, run it
+// through the unified Runner API, and read off rounds + verification from
+// the one result type every workload returns.
 //
 //   $ ./quickstart
 #include <cstdio>
 
-#include "algo/cole_vishkin.hpp"
+#include "core/registry.hpp"
+#include "core/runner.hpp"
 #include "graph/builders.hpp"
-#include "lcl/checker.hpp"
-#include "lcl/problems/coloring.hpp"
 
 using namespace padlock;
 
 int main() {
-  // 1. An instance: a cycle with 1000 nodes and random unique ids.
+  // 1. An instance: a cycle with 1000 nodes.
   const std::size_t n = 1000;
-  Graph g = build::cycle(n);
-  const IdMap ids = shuffled_ids(g, /*seed=*/42);
+  const Graph g = build::cycle(n);
 
-  // 2. A LOCAL algorithm: Cole–Vishkin 3-coloring, Θ(log* n) rounds.
-  const auto result =
-      cole_vishkin_3color(g, ids, cycle_successor_ports(g), n);
+  // 2. One entry point for every workload: name the problem and the
+  //    algorithm; the runner assigns ids, solves, accounts rounds, and
+  //    verifies the output with the problem's checker — all by default.
+  RunOptions opts;
+  opts.seed = 42;
+  bool all_ok = true;
+  const SolveOutcome result = run("3-coloring", "cole-vishkin", g, opts);
+  all_ok &= result.verification.ok;
   std::printf("3-colored a %zu-cycle in %d communication rounds\n", n,
-              result.rounds);
+              result.rounds.rounds);
+  std::printf("checker verdict: %s\n",
+              result.verification.ok ? "valid" : "INVALID");
 
-  // 3. Verification through the LCL formalism: proper 3-coloring is an
-  //    ne-LCL; the checker evaluates its node and edge constraints.
-  const ProperColoring lcl(3);
-  const NeLabeling input(g);  // this problem has no input labels
-  const auto output = colors_to_labeling(g, result.colors);
-  const auto check = check_ne_lcl(g, lcl, input, output);
-  std::printf("checker verdict: %s\n", check.ok ? "valid" : "INVALID");
-
-  // 4. The round count is a function of the id space (log* shaped): a
+  // 3. The round count is a function of the id space (log* shaped): a
   //    million-times larger id space costs only a few more rounds.
-  const auto sparse = sparse_ids(g, 7);
-  const auto wide =
-      cole_vishkin_3color(g, sparse, cycle_successor_ports(g), n * n * n);
+  opts.ids = IdStrategy::kSparse;  // n distinct ids from {1..n^3}
+  const SolveOutcome wide = run("3-coloring", "cole-vishkin", g, opts);
+  all_ok &= wide.verification.ok;
   std::printf("with ids from {1..n^3}: %d rounds (log* in action)\n",
-              wide.rounds);
-  return check.ok ? 0 : 1;
+              wide.rounds.rounds);
+
+  // 4. The registry is the landscape: every registered pair answers the
+  //    same call. Swap the names to run a different scenario.
+  const Graph cubic = build::random_regular_simple(1024, 3, 7);
+  for (const char* algo : {"short-cycle-det", "propose-repair"}) {
+    const SolveOutcome so = run("sinkless-orientation", algo, cubic, opts);
+    all_ok &= so.verification.ok;
+    std::printf("sinkless-orientation/%s: %d rounds, %s\n", algo,
+                so.rounds.rounds, so.verification.ok ? "valid" : "INVALID");
+  }
+
+  // 5. `padlock_cli list` enumerates everything runnable here.
+  std::printf("registered pairs: %zu\n",
+              AlgorithmRegistry::instance().num_algos());
+  return all_ok ? 0 : 1;
 }

@@ -1,14 +1,14 @@
 // Sinkless orientation — the paper's base problem Π_1 — deterministic vs
-// randomized, with the exponential round gap measured live.
+// randomized, with the exponential round gap measured live through the
+// unified Runner API: both algorithms are registered for the same problem,
+// so the comparison is one loop over two registry names.
 //
 //   $ ./sinkless_demo [log2_n]
 #include <cstdio>
 #include <cstdlib>
 
-#include "algo/sinkless_det.hpp"
-#include "algo/sinkless_rand.hpp"
+#include "core/runner.hpp"
 #include "graph/builders.hpp"
-#include "lcl/problems/sinkless_orientation.hpp"
 
 using namespace padlock;
 
@@ -17,19 +17,21 @@ int main(int argc, char** argv) {
   const std::size_t n = std::size_t{1} << lg;
   std::printf("sinkless orientation on a random cubic graph, n = %zu\n", n);
 
-  Graph g = build::random_regular_simple(n, 3, 2024);
-  const IdMap ids = shuffled_ids(g, 7);
+  const Graph g = build::random_regular_simple(n, 3, 2024);
 
-  const auto det = sinkless_orientation_det(g, ids, n);
-  std::printf("deterministic: %d rounds, valid = %s\n", det.report.rounds,
-              is_sinkless(g, det.tails) ? "yes" : "NO");
+  RunOptions opts;
+  opts.seed = 99;
+  const SolveOutcome det = run("sinkless-orientation", "short-cycle-det", g, opts);
+  std::printf("deterministic: %d rounds, valid = %s\n", det.rounds.rounds,
+              det.verification.ok ? "yes" : "NO");
 
-  const auto rnd = sinkless_orientation_rand(g, ids, n, 99);
+  const SolveOutcome rnd = run("sinkless-orientation", "propose-repair", g, opts);
   std::printf(
       "randomized:    %d rounds, valid = %s  (unsatisfied after the random "
-      "orientation: %d, deepest repair: %d)\n",
-      rnd.rounds, is_sinkless(g, rnd.tails) ? "yes" : "NO",
-      rnd.unsatisfied_after_propose, rnd.max_repair_radius);
+      "orientation: %lld, deepest repair: %lld)\n",
+      rnd.rounds.rounds, rnd.verification.ok ? "yes" : "NO",
+      static_cast<long long>(rnd.stats.get_or("unsatisfied_after_propose", 0)),
+      static_cast<long long>(rnd.stats.get_or("max_repair_radius", 0)));
 
   std::printf(
       "\nThe deterministic algorithm routes every node to a canonical short\n"

@@ -1,5 +1,8 @@
 #include "algo/cole_vishkin.hpp"
 
+#include "core/registry.hpp"
+#include "lcl/problems/coloring.hpp"
+
 #include <bit>
 #include <vector>
 
@@ -134,6 +137,42 @@ ColeVishkinResult cole_vishkin_3color(const Graph& g, const IdMap& ids,
     result.colors[v] = static_cast<int>(color[v]) + 1;
   }
   return result;
+}
+
+
+bool graph_oriented_cycle(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.is_self_loop(e)) return false;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) != 2) return false;
+  }
+  return successor_ports_consistent(g, cycle_successor_ports(g));
+}
+
+void register_cole_vishkin_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "cole-vishkin",
+      .problem = "3-coloring",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "Theta(log* n)",
+      .requires_text = "consistently orientable cycles (build::cycle ports)",
+      .precondition = graph_oriented_cycle,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res =
+                cole_vishkin_3color(ctx.graph, ctx.ids,
+                                    cycle_successor_ports(ctx.graph),
+                                    ctx.id_space);
+            AlgoResult out{.output = colors_to_labeling(ctx.graph, res.colors),
+                           .rounds =
+                               RoundReport::uniform(ctx.graph, res.rounds),
+                           .stats = {}};
+            out.stats.set("bit_reduction_iterations", res.rounds - 3);
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

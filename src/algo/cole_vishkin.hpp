@@ -43,4 +43,16 @@ ColeVishkinResult cole_vishkin_3color(const Graph& g, const IdMap& ids,
                                       const NodeMap<int>& succ_port,
                                       std::uint64_t id_space);
 
+/// Nonempty, loop-free, 2-regular, and consistently orientable via
+/// build::cycle port conventions — the instance class of Cole–Vishkin and
+/// its registry precondition.
+[[nodiscard]] bool graph_oriented_cycle(const Graph& g);
+
+class AlgorithmRegistry;
+
+/// Registers 3-coloring/cole-vishkin behind the unified runner API.
+/// Prefer `padlock::run("3-coloring", "cole-vishkin", g)` over the direct
+/// entry point above.
+void register_cole_vishkin_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

@@ -1,5 +1,11 @@
 #include "algo/color_reduce.hpp"
 
+#include <limits>
+
+#include "core/registry.hpp"
+#include "lcl/problems/coloring.hpp"
+#include "support/check.hpp"
+
 #include <unordered_set>
 #include <vector>
 #include <vector>
@@ -153,6 +159,41 @@ bool is_distance2_coloring(const Graph& g, const NodeMap<int>& colors) {
     }
   }
   return true;
+}
+
+
+void register_color_reduce_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "color-reduce",
+      .problem = "coloring",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "O(id_space) -- the trivial linear baseline",
+      .requires_text = "loop-free graphs",
+      .precondition = graph_loop_free,
+      .solve =
+          [](const RunContext& ctx) {
+            // Unique ids are a proper coloring of any loop-free graph; the
+            // schedule-by-class reduction then pays one round per initial
+            // color -- the linear-in-id-space baseline of the landscape.
+            NodeMap<int> initial(ctx.graph, 0);
+            int num_colors = 0;
+            for (NodeId v = 0; v < ctx.graph.num_nodes(); ++v) {
+              PADLOCK_REQUIRE(ctx.ids[v] <=
+                              static_cast<std::uint64_t>(
+                                  std::numeric_limits<int>::max()));
+              initial[v] = static_cast<int>(ctx.ids[v]);
+              num_colors = std::max(num_colors, initial[v]);
+            }
+            const auto res =
+                reduce_to_degree_plus_one(ctx.graph, initial, num_colors);
+            AlgoResult out{
+                .output = colors_to_labeling(ctx.graph, res.colors),
+                .rounds = RoundReport::uniform(ctx.graph, res.rounds),
+                .stats = {}};
+            out.stats.set("initial_colors", num_colors);
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

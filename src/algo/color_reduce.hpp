@@ -45,4 +45,9 @@ NodeMap<int> greedy_distance_coloring(const Graph& g, int k,
 /// True iff distinct nodes within distance k always have distinct colors.
 bool is_distance_coloring(const Graph& g, const NodeMap<int>& colors, int k);
 
+class AlgorithmRegistry;
+
+/// Registers coloring/color-reduce (schedule-by-class from raw ids) behind the unified runner API.
+void register_color_reduce_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

@@ -68,4 +68,9 @@ DerandomizedResult derandomized_mis(const Graph& g, const IdMap& ids,
 DerandomizedResult derandomized_coloring(const Graph& g, const IdMap& ids,
                                          std::uint64_t seed);
 
+class AlgorithmRegistry;
+
+/// Registers mis/decomposition-sweep and coloring/decomposition-sweep behind the unified runner API.
+void register_derandomize_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

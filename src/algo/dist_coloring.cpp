@@ -1,5 +1,8 @@
 #include "algo/dist_coloring.hpp"
 
+#include "core/registry.hpp"
+#include "lcl/problems/coloring.hpp"
+
 #include "algo/linial.hpp"
 #include "graph/power_graph.hpp"
 #include "support/check.hpp"
@@ -33,6 +36,29 @@ RulingSetResult ruling_set_power(const Graph& g, const IdMap& ids,
   // (alpha-1) times larger, so re-measure there.
   res.domination_radius = ruling_set_domination(g, res.in_set);
   return res;
+}
+
+
+void register_dist_coloring_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "power-linial",
+      .problem = "dist2-coloring",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "Theta(log* n) (2 base rounds per G^2 round)",
+      .requires_text = "loop-free graphs",
+      .precondition = graph_loop_free,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res =
+                distance_k_coloring(ctx.graph, ctx.ids, ctx.id_space, 2);
+            AlgoResult out{
+                .output = colors_to_labeling(ctx.graph, res.colors),
+                .rounds = RoundReport::uniform(ctx.graph, res.rounds),
+                .stats = {}};
+            out.stats.set("num_colors", res.num_colors);
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

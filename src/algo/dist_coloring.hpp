@@ -33,4 +33,9 @@ DistColoringResult distance_k_coloring(const Graph& g, const IdMap& ids,
 RulingSetResult ruling_set_power(const Graph& g, const IdMap& ids,
                                  std::uint64_t id_space, int alpha);
 
+class AlgorithmRegistry;
+
+/// Registers dist2-coloring/power-linial behind the unified runner API.
+void register_dist_coloring_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

@@ -1,5 +1,8 @@
 #include "algo/edge_color.hpp"
 
+#include "core/registry.hpp"
+#include "lcl/problems/edge_coloring.hpp"
+
 #include "algo/linial.hpp"
 #include "graph/line_graph.hpp"
 #include "support/check.hpp"
@@ -24,6 +27,27 @@ EdgeColorResult edge_color_log_star(const Graph& g, const IdMap& ids,
   // line-graph simulation starts.
   res.rounds = lr.total_rounds() + 1;
   return res;
+}
+
+
+void register_edge_color_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "line-graph-linial",
+      .problem = "edge-coloring",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "Theta(log* n)",
+      .requires_text = "loop-free graphs",
+      .precondition = graph_loop_free,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res =
+                edge_color_log_star(ctx.graph, ctx.ids, ctx.id_space);
+            return AlgoResult{
+                .output = edge_colors_to_labeling(ctx.graph, res.colors),
+                .rounds = RoundReport::uniform(ctx.graph, res.rounds),
+                .stats = {}};
+          },
+  });
 }
 
 }  // namespace padlock

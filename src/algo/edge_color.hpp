@@ -23,4 +23,9 @@ struct EdgeColorResult {
 EdgeColorResult edge_color_log_star(const Graph& g, const IdMap& ids,
                                     std::uint64_t id_space);
 
+class AlgorithmRegistry;
+
+/// Registers edge-coloring/line-graph-linial behind the unified runner API.
+void register_edge_color_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

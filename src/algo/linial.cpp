@@ -1,5 +1,8 @@
 #include "algo/linial.hpp"
 
+#include "core/registry.hpp"
+#include "lcl/problems/coloring.hpp"
+
 #include <vector>
 
 #include "algo/color_reduce.hpp"
@@ -135,6 +138,29 @@ LinialResult linial_color(const Graph& g, const IdMap& ids,
   result.colors = reduced.colors;
   result.reduction_rounds = reduced.rounds;
   return result;
+}
+
+
+void register_linial_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "linial",
+      .problem = "coloring",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "Theta(log* n)",
+      .requires_text = "loop-free graphs",
+      .precondition = graph_loop_free,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res = linial_color(ctx.graph, ctx.ids, ctx.id_space);
+            AlgoResult out{
+                .output = colors_to_labeling(ctx.graph, res.colors),
+                .rounds = RoundReport::uniform(ctx.graph, res.total_rounds()),
+                .stats = {}};
+            out.stats.set("linial_rounds", res.linial_rounds);
+            out.stats.set("reduction_rounds", res.reduction_rounds);
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

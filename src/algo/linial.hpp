@@ -41,4 +41,9 @@ std::uint64_t linial_step_palette(std::uint64_t K, int max_degree);
 LinialResult linial_color(const Graph& g, const IdMap& ids,
                           std::uint64_t id_space);
 
+class AlgorithmRegistry;
+
+/// Registers coloring/linial behind the unified runner API (core/runner.hpp).
+void register_linial_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

@@ -1,5 +1,8 @@
 #include "algo/luby_mis.hpp"
 
+#include "core/registry.hpp"
+#include "lcl/problems/mis.hpp"
+
 #include "local/message_engine.hpp"
 #include "support/rng.hpp"
 
@@ -76,6 +79,26 @@ MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed) {
   for (NodeId v = 0; v < g.num_nodes(); ++v)
     result.in_set[v] = alg.state[v] == MisState::kIn;
   return result;
+}
+
+
+void register_luby_mis_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "luby",
+      .problem = "mis",
+      .determinism = Determinism::kRandomized,
+      .complexity = "O(log n) whp",
+      .requires_text = "loop-free graphs",
+      .precondition = graph_loop_free,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res = luby_mis(ctx.graph, ctx.ids, ctx.seed);
+            return AlgoResult{
+                .output = mis_to_labeling(ctx.graph, res.in_set),
+                .rounds = RoundReport::uniform(ctx.graph, res.rounds),
+                .stats = {}};
+          },
+  });
 }
 
 }  // namespace padlock

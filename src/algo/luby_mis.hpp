@@ -23,4 +23,9 @@ struct MisResult {
 
 MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed);
 
+class AlgorithmRegistry;
+
+/// Registers mis/luby behind the unified runner API.
+void register_luby_mis_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

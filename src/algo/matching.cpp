@@ -1,5 +1,9 @@
 #include "algo/matching.hpp"
 
+#include "algo/linial.hpp"
+#include "core/registry.hpp"
+#include "lcl/problems/matching.hpp"
+
 #include <vector>
 
 #include "support/rng.hpp"
@@ -138,6 +142,48 @@ MatchingResult matching_from_coloring(const Graph& g,
     }
   }
   return result;
+}
+
+
+void register_matching_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "propose-accept",
+      .problem = "matching",
+      .determinism = Determinism::kRandomized,
+      .complexity = "O(log n) whp",
+      .requires_text = "",
+      .precondition = nullptr,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res = randomized_matching(ctx.graph, ctx.ids, ctx.seed);
+            return AlgoResult{
+                .output = matching_to_labeling(ctx.graph, res.in_match),
+                .rounds = RoundReport::uniform(ctx.graph, res.rounds),
+                .stats = {}};
+          },
+  });
+  r.register_algo({
+      .name = "color-greedy",
+      .problem = "matching",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "Theta(log* n) + O(Delta)",
+      .requires_text = "loop-free graphs",
+      .precondition = graph_loop_free,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto col = linial_color(ctx.graph, ctx.ids, ctx.id_space);
+            const auto res = matching_from_coloring(
+                ctx.graph, col.colors, ctx.graph.max_degree() + 1);
+            AlgoResult out{
+                .output = matching_to_labeling(ctx.graph, res.in_match),
+                .rounds = RoundReport::uniform(
+                    ctx.graph, col.total_rounds() + res.rounds),
+                .stats = {}};
+            out.stats.set("coloring_rounds", col.total_rounds());
+            out.stats.set("greedy_rounds", res.rounds);
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

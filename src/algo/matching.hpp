@@ -34,4 +34,9 @@ MatchingResult matching_from_coloring(const Graph& g,
                                       const NodeMap<int>& colors,
                                       int num_colors);
 
+class AlgorithmRegistry;
+
+/// Registers matching/propose-accept and matching/color-greedy behind the unified runner API.
+void register_matching_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

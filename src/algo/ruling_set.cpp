@@ -1,5 +1,7 @@
 #include "algo/ruling_set.hpp"
 
+#include "core/registry.hpp"
+
 #include <algorithm>
 #include <queue>
 #include <vector>
@@ -111,6 +113,33 @@ int ruling_set_domination(const Graph& g, const NodeMap<bool>& set) {
     worst = std::max(worst, dist[v]);
   }
   return worst;
+}
+
+
+void register_ruling_set_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "aglp-bit-split",
+      .problem = "ruling-set",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "O(log id_space)",
+      .requires_text = "",
+      .precondition = nullptr,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res =
+                ruling_set_aglp(ctx.graph, ctx.ids, ctx.id_space);
+            NeLabeling output(ctx.graph);
+            for (NodeId v = 0; v < ctx.graph.num_nodes(); ++v) {
+              output.node[v] = res.in_set[v] ? 2 : 1;
+            }
+            AlgoResult out{.output = std::move(output),
+                           .rounds =
+                               RoundReport::uniform(ctx.graph, res.rounds),
+                           .stats = {}};
+            out.stats.set("domination_radius", res.domination_radius);
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

@@ -51,4 +51,9 @@ bool ruling_set_independent(const Graph& g, const NodeMap<bool>& set,
 /// (-1) if some node cannot reach the set (e.g. a set-free component).
 int ruling_set_domination(const Graph& g, const NodeMap<bool>& set);
 
+class AlgorithmRegistry;
+
+/// Registers ruling-set/aglp-bit-split behind the unified runner API.
+void register_ruling_set_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

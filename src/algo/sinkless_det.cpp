@@ -1,5 +1,7 @@
 #include "algo/sinkless_det.hpp"
 
+#include "core/registry.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <queue>
@@ -406,6 +408,29 @@ int sinkless_det_edge_rule(const Graph& g, const IdMap& ids,
   if (claim_of(g, ids, t, u) == e) return 0;
   if (claim_of(g, ids, t, w) == e) return 1;
   return ids[u] > ids[w] ? 0 : 1;
+}
+
+
+void register_sinkless_det_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "short-cycle-det",
+      .problem = "sinkless-orientation",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "Theta(log n)",
+      .requires_text = "",
+      .precondition = nullptr,
+      .solve =
+          [](const RunContext& ctx) {
+            const std::size_t n = ctx.graph.num_nodes();
+            auto res = sinkless_orientation_det(ctx.graph, ctx.ids, n);
+            AlgoResult out{
+                .output = orientation_to_labeling(ctx.graph, res.tails),
+                .rounds = std::move(res.report),  // real per-node radii
+                .stats = {}};
+            out.stats.set("cycle_budget", sinkless_det_cycle_budget(n));
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

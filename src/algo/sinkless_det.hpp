@@ -67,4 +67,9 @@ int sinkless_det_edge_rule(const Graph& g, const IdMap& ids,
 /// (exact; via BFS with root-subtree labels), nullopt if none.
 std::optional<int> short_cycle_through(const Graph& g, NodeId v, int budget);
 
+class AlgorithmRegistry;
+
+/// Registers sinkless-orientation/short-cycle-det behind the unified runner API.
+void register_sinkless_det_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

@@ -1,5 +1,7 @@
 #include "algo/sinkless_rand.hpp"
 
+#include "core/registry.hpp"
+
 #include <algorithm>
 #include <optional>
 #include <bit>
@@ -261,6 +263,33 @@ SinklessRandResult sinkless_orientation_rand(const Graph& g, const IdMap& ids,
   for (NodeId v = 0; v < g.num_nodes(); ++v)
     PADLOCK_ASSERT(st.satisfied(g, v));
   return result;
+}
+
+
+void register_sinkless_rand_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "propose-repair",
+      .problem = "sinkless-orientation",
+      .determinism = Determinism::kRandomized,
+      .complexity = "poly(log log n) whp (shattering)",
+      .requires_text = "",
+      .precondition = nullptr,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res = sinkless_orientation_rand(
+                ctx.graph, ctx.ids, ctx.graph.num_nodes(), ctx.seed);
+            AlgoResult out{
+                .output = orientation_to_labeling(ctx.graph, res.tails),
+                .rounds = RoundReport::uniform(ctx.graph, res.rounds),
+                .stats = {}};
+            out.stats.set("propose_iterations", res.propose_iterations);
+            out.stats.set("repair_subphases", res.repair_subphases);
+            out.stats.set("max_repair_radius", res.max_repair_radius);
+            out.stats.set("unsatisfied_after_propose",
+                          res.unsatisfied_after_propose);
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

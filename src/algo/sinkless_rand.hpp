@@ -56,4 +56,9 @@ SinklessRandResult sinkless_orientation_rand(const Graph& g, const IdMap& ids,
                                              std::size_t n_known,
                                              std::uint64_t seed);
 
+class AlgorithmRegistry;
+
+/// Registers sinkless-orientation/propose-repair behind the unified runner API.
+void register_sinkless_rand_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

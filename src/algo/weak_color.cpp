@@ -1,5 +1,8 @@
 #include "algo/weak_color.hpp"
 
+#include "core/registry.hpp"
+#include "lcl/problems/weak_coloring.hpp"
+
 #include <algorithm>
 
 #include "algo/linial.hpp"
@@ -72,6 +75,29 @@ WeakColorResult weak_2color(const Graph& g, const IdMap& ids,
   // repair round.
   res.rounds = lin.total_rounds() + 1 + k + 1;
   return res;
+}
+
+
+void register_weak_color_algos(AlgorithmRegistry& r) {
+  r.register_algo({
+      .name = "pointer-parity",
+      .problem = "weak-coloring",
+      .determinism = Determinism::kDeterministic,
+      .complexity = "Theta(log* n)",
+      .requires_text = "loop-free graphs",
+      .precondition = graph_loop_free,
+      .solve =
+          [](const RunContext& ctx) {
+            const auto res = weak_2color(ctx.graph, ctx.ids, ctx.id_space);
+            AlgoResult out{
+                .output = weak_coloring_to_labeling(ctx.graph, res.colors),
+                .rounds = RoundReport::uniform(ctx.graph, res.rounds),
+                .stats = {}};
+            out.stats.set("sinks", res.sinks);
+            out.stats.set("repaired", res.repaired);
+            return out;
+          },
+  });
 }
 
 }  // namespace padlock

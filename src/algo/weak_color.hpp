@@ -37,4 +37,9 @@ struct WeakColorResult {
 WeakColorResult weak_2color(const Graph& g, const IdMap& ids,
                             std::uint64_t id_space);
 
+class AlgorithmRegistry;
+
+/// Registers weak-coloring/pointer-parity behind the unified runner API.
+void register_weak_color_algos(AlgorithmRegistry& registry);
+
 }  // namespace padlock

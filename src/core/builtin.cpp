@@ -1,0 +1,195 @@
+// Registers the built-in landscape: every problem of the repo's Figure 1
+// reproduction and, via the per-module hooks, every algorithm solving
+// them. Called once, lazily, from AlgorithmRegistry::instance().
+//
+// Problems whose correctness is node-edge checkable get a `make_lcl`
+// factory (verified by check_ne_lcl — the paper's constant-time
+// distributed checker). Distance-2 coloring and ruling sets are *not*
+// ne-LCLs (their correctness needs radius-2 views), so they carry custom
+// global checkers instead; the runner treats both uniformly.
+#include <memory>
+#include <queue>
+
+#include "algo/cole_vishkin.hpp"
+#include "algo/color_reduce.hpp"
+#include "algo/derandomize.hpp"
+#include "algo/dist_coloring.hpp"
+#include "algo/edge_color.hpp"
+#include "algo/linial.hpp"
+#include "algo/luby_mis.hpp"
+#include "algo/matching.hpp"
+#include "algo/ruling_set.hpp"
+#include "algo/sinkless_det.hpp"
+#include "algo/sinkless_rand.hpp"
+#include "algo/weak_color.hpp"
+#include "core/registry.hpp"
+#include "lcl/problems/coloring.hpp"
+#include "lcl/problems/edge_coloring.hpp"
+#include "lcl/problems/matching.hpp"
+#include "lcl/problems/mis.hpp"
+#include "lcl/problems/sinkless_orientation.hpp"
+#include "lcl/problems/weak_coloring.hpp"
+
+namespace padlock {
+
+namespace {
+
+// ---- custom checkers for the non-ne-LCL problems ---------------------------
+
+// Distance-2 coloring: node labels are colors >= 1; distinct nodes within
+// distance <= 2 (including endpoints of parallel edges) must differ.
+CheckResult check_dist2_coloring(const Graph& g, const NeLabeling& /*input*/,
+                                 const NeLabeling& output,
+                                 std::size_t max_violations) {
+  CheckResult result;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool bad = output.node[v] < 1;
+    for (int p = 0; !bad && p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p);
+      if (u != v && output.node[u] == output.node[v]) bad = true;
+      for (int q = 0; !bad && q < g.degree(u); ++q) {
+        const NodeId w = g.neighbor(u, q);
+        if (w != v && output.node[w] == output.node[v]) bad = true;
+      }
+    }
+    if (bad) result.add_violation({Violation::Site::kNode, v, kNoEdge},
+                                  max_violations);
+  }
+  return result;
+}
+
+// (2, beta)-ruling set with finite beta: node label 2 = in the set, 1 =
+// out. Independence: no two set nodes are adjacent. Domination: every node
+// reaches the set (beta itself is instance-dependent; the algorithm reports
+// the measured radius in its stats).
+CheckResult check_ruling_set(const Graph& g, const NeLabeling& /*input*/,
+                             const NeLabeling& output,
+                             std::size_t max_violations) {
+  CheckResult result;
+  NodeMap<bool> reached(g, false);
+  std::queue<NodeId> frontier;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool in_set = output.node[v] == 2;
+    bool bad = !in_set && output.node[v] != 1;
+    if (in_set) {
+      reached[v] = true;
+      frontier.push(v);
+      for (int p = 0; !bad && p < g.degree(v); ++p) {
+        const NodeId u = g.neighbor(v, p);
+        if (u != v && output.node[u] == 2) bad = true;  // adjacent set nodes
+      }
+    }
+    if (bad) result.add_violation({Violation::Site::kNode, v, kNoEdge},
+                                  max_violations);
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (int p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p);
+      if (!reached[u]) {
+        reached[u] = true;
+        frontier.push(u);
+      }
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!reached[v]) {
+      result.add_violation({Violation::Site::kNode, v, kNoEdge},
+                           max_violations);
+    }
+  }
+  return result;
+}
+
+void register_problems(AlgorithmRegistry& r) {
+  r.register_problem({
+      .name = "3-coloring",
+      .family = "coloring",
+      .summary = "proper 3-coloring (cycles; the Theta(log* n) classic)",
+      .make_lcl = [](const Graph&) -> std::unique_ptr<NeLcl> {
+        return std::make_unique<ProperColoring>(3);
+      },
+  });
+  r.register_problem({
+      .name = "coloring",
+      .family = "coloring",
+      .summary = "proper (Delta+1)-coloring",
+      .make_lcl = [](const Graph& g) -> std::unique_ptr<NeLcl> {
+        return std::make_unique<ProperColoring>(g.max_degree() + 1);
+      },
+  });
+  r.register_problem({
+      .name = "edge-coloring",
+      .family = "coloring",
+      .summary = "proper (2*Delta-1)-edge-coloring",
+      .make_lcl = [](const Graph& g) -> std::unique_ptr<NeLcl> {
+        return std::make_unique<EdgeColoring>(
+            std::max(1, 2 * g.max_degree() - 1));
+      },
+  });
+  r.register_problem({
+      .name = "weak-coloring",
+      .family = "coloring",
+      .summary = "weak 2-coloring (Naor-Stockmeyer)",
+      .make_lcl = [](const Graph&) -> std::unique_ptr<NeLcl> {
+        return std::make_unique<WeakColoring>();
+      },
+  });
+  r.register_problem({
+      .name = "mis",
+      .family = "independence",
+      .summary = "maximal independent set",
+      .make_lcl = [](const Graph&) -> std::unique_ptr<NeLcl> {
+        return std::make_unique<MaximalIndependentSet>();
+      },
+  });
+  r.register_problem({
+      .name = "matching",
+      .family = "matching",
+      .summary = "maximal matching",
+      .make_lcl = [](const Graph&) -> std::unique_ptr<NeLcl> {
+        return std::make_unique<MaximalMatching>();
+      },
+  });
+  r.register_problem({
+      .name = "sinkless-orientation",
+      .family = "orientation",
+      .summary = "sinkless orientation (the paper's base problem Pi_1)",
+      .make_lcl = [](const Graph&) -> std::unique_ptr<NeLcl> {
+        return std::make_unique<SinklessOrientation>();
+      },
+  });
+  r.register_problem({
+      .name = "dist2-coloring",
+      .family = "coloring",
+      .summary = "distance-2 coloring (gadget input generator, Sec. 4.6)",
+      .check = check_dist2_coloring,
+  });
+  r.register_problem({
+      .name = "ruling-set",
+      .family = "independence",
+      .summary = "(2, beta)-ruling set with finite domination radius",
+      .check = check_ruling_set,
+  });
+}
+
+}  // namespace
+
+void register_builtin(AlgorithmRegistry& r) {
+  register_problems(r);
+  register_cole_vishkin_algos(r);
+  register_linial_algos(r);
+  register_color_reduce_algos(r);
+  register_weak_color_algos(r);
+  register_edge_color_algos(r);
+  register_luby_mis_algos(r);
+  register_matching_algos(r);
+  register_ruling_set_algos(r);
+  register_dist_coloring_algos(r);
+  register_sinkless_det_algos(r);
+  register_sinkless_rand_algos(r);
+  register_derandomize_algos(r);
+}
+
+}  // namespace padlock

@@ -1,0 +1,113 @@
+#include "core/runner.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace padlock {
+
+namespace {
+
+IdMap make_ids(const Graph& g, IdStrategy strategy, std::uint64_t seed) {
+  switch (strategy) {
+    case IdStrategy::kSequential:
+      return sequential_ids(g);
+    case IdStrategy::kShuffled:
+      return shuffled_ids(g, seed);
+    case IdStrategy::kSparse:
+      return sparse_ids(g, seed);
+    case IdStrategy::kAdversarial:
+      return bfs_adversarial_ids(g);
+  }
+  PADLOCK_REQUIRE(false);
+}
+
+std::uint64_t default_id_space(const Graph& g, IdStrategy strategy) {
+  const auto n = static_cast<std::uint64_t>(g.num_nodes());
+  if (strategy == IdStrategy::kSparse) return n * n * n;
+  return n;
+}
+
+}  // namespace
+
+std::string_view id_strategy_name(IdStrategy s) {
+  switch (s) {
+    case IdStrategy::kSequential:
+      return "sequential";
+    case IdStrategy::kShuffled:
+      return "shuffled";
+    case IdStrategy::kSparse:
+      return "sparse";
+    case IdStrategy::kAdversarial:
+      return "adversarial";
+  }
+  PADLOCK_REQUIRE(false);
+}
+
+IdStrategy id_strategy_from_name(const std::string& name) {
+  if (name == "sequential") return IdStrategy::kSequential;
+  if (name == "shuffled") return IdStrategy::kShuffled;
+  if (name == "sparse") return IdStrategy::kSparse;
+  if (name == "adversarial") return IdStrategy::kAdversarial;
+  throw RegistryError("unknown id strategy '" + name +
+                      "'; expected sequential|shuffled|sparse|adversarial");
+}
+
+SolveOutcome run_with_ids(const ProblemSpec& problem, const AlgoSpec& algo,
+                          const Graph& g, const IdMap& ids,
+                          std::uint64_t id_space, const RunOptions& opts) {
+  if (algo.problem != problem.name) {
+    throw RegistryError("algorithm '" + algo.name + "' solves '" +
+                        algo.problem + "', not '" + problem.name + "'");
+  }
+  if (algo.precondition && !algo.precondition(g)) {
+    std::ostringstream msg;
+    msg << "graph violates the precondition of " << problem.name << '/'
+        << algo.name;
+    if (!algo.requires_text.empty()) msg << " (requires " << algo.requires_text
+                                         << ")";
+    throw RegistryError(msg.str());
+  }
+  PADLOCK_REQUIRE(ids_valid(g, ids));
+
+  const NeLabeling input =
+      problem.make_input ? problem.make_input(g) : NeLabeling(g);
+  const RunContext ctx{.graph = g,
+                       .ids = ids,
+                       .id_space = id_space,
+                       .seed = opts.seed,
+                       .input = input};
+  AlgoResult result = algo.solve(ctx);
+
+  SolveOutcome outcome{.output = std::move(result.output),
+                       .rounds = std::move(result.rounds),
+                       .stats = std::move(result.stats),
+                       .verification = {}};
+  if (opts.check) {
+    if (problem.check) {
+      outcome.verification =
+          problem.check(g, input, outcome.output, opts.max_violations);
+    } else {
+      const auto lcl = problem.make_lcl(g);
+      outcome.verification =
+          check_ne_lcl(g, *lcl, input, outcome.output, opts.max_violations);
+    }
+  }
+  return outcome;
+}
+
+SolveOutcome run(const ProblemSpec& problem, const AlgoSpec& algo,
+                 const Graph& g, const RunOptions& opts) {
+  const IdMap ids = make_ids(g, opts.ids, opts.seed);
+  const std::uint64_t id_space =
+      opts.id_space != 0 ? opts.id_space : default_id_space(g, opts.ids);
+  return run_with_ids(problem, algo, g, ids, id_space, opts);
+}
+
+SolveOutcome run(const std::string& problem, const std::string& algo,
+                 const Graph& g, const RunOptions& opts) {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  return run(registry.problem(problem), registry.algo(problem, algo), g, opts);
+}
+
+}  // namespace padlock

@@ -1,0 +1,69 @@
+// The unified runner: drives a registered (problem, algorithm) pair end to
+// end — id assignment, input generation, solving, round accounting, and
+// (by default) verification through the problem's checker.
+//
+// This is the API every call site of the library goes through: the CLI's
+// `run` subcommand, the fig benches, and the registry round-trip tests all
+// dispatch here instead of hand-wiring the bespoke per-algorithm entry
+// points (which remain available as implementation detail; see
+// docs/API.md for the migration table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/registry.hpp"
+
+namespace padlock {
+
+/// The one result type of the redesigned surface.
+struct SolveOutcome {
+  NeLabeling output;       // unified ne-LCL encoding of the solution
+  RoundReport rounds;      // honest LOCAL round accounting
+  Stats stats;             // algorithm-specific counters
+  CheckResult verification;  // default-constructed (ok) when checking is off
+
+  /// True iff the run is verified correct (or verification was skipped).
+  [[nodiscard]] bool ok() const { return verification.ok; }
+};
+
+/// How the runner assigns the unique ids of the LOCAL model.
+enum class IdStrategy {
+  kSequential,   // 1..n in node order
+  kShuffled,     // random permutation of 1..n
+  kSparse,       // n distinct ids from {1..n^3}
+  kAdversarial,  // descending along a BFS (worst case for greedy rules)
+};
+
+[[nodiscard]] std::string_view id_strategy_name(IdStrategy s);
+/// Parses "sequential|shuffled|sparse|adversarial"; throws RegistryError.
+[[nodiscard]] IdStrategy id_strategy_from_name(const std::string& name);
+
+struct RunOptions {
+  std::uint64_t seed = 1;
+  IdStrategy ids = IdStrategy::kShuffled;
+  /// Id space the algorithm's schedule is planned for; 0 derives it from
+  /// the strategy (n, or n^3 for sparse ids).
+  std::uint64_t id_space = 0;
+  /// Every run is checked by default.
+  bool check = true;
+  std::size_t max_violations = 16;
+};
+
+/// Runs `algo` on `g` and verifies the outcome. Throws RegistryError if the
+/// pair is mismatched or g violates the algorithm's precondition.
+SolveOutcome run(const ProblemSpec& problem, const AlgoSpec& algo,
+                 const Graph& g, const RunOptions& opts = {});
+
+/// Name-based dispatch against the global registry. Throws RegistryError on
+/// unknown names.
+SolveOutcome run(const std::string& problem, const std::string& algo,
+                 const Graph& g, const RunOptions& opts = {});
+
+/// Caller-supplied ids (the general LOCAL contract: deterministic
+/// algorithms must work for every unique assignment from {1..id_space}).
+SolveOutcome run_with_ids(const ProblemSpec& problem, const AlgoSpec& algo,
+                          const Graph& g, const IdMap& ids,
+                          std::uint64_t id_space, const RunOptions& opts = {});
+
+}  // namespace padlock

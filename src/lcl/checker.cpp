@@ -56,18 +56,14 @@ CheckResult check_ne_lcl(const Graph& g, const NeLcl& lcl,
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     fill_node_env(g, v, input, output, storage);
     if (!lcl.node_ok(storage.env)) {
-      result.ok = false;
-      if (result.violations.size() < max_violations)
-        result.violations.push_back(
-            {Violation::Site::kNode, v, kNoEdge});
+      result.add_violation({Violation::Site::kNode, v, kNoEdge},
+                           max_violations);
     }
   }
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (!lcl.edge_ok(make_edge_env(g, e, input, output))) {
-      result.ok = false;
-      if (result.violations.size() < max_violations)
-        result.violations.push_back(
-            {Violation::Site::kEdge, kNoNode, e});
+      result.add_violation({Violation::Site::kEdge, kNoNode, e},
+                           max_violations);
     }
   }
   return result;

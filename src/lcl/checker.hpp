@@ -23,8 +23,25 @@ struct Violation {
 struct CheckResult {
   bool ok = true;
   std::vector<Violation> violations;  // capped at `max_violations`
+  /// Total number of violating sites, including ones dropped from
+  /// `violations` by the cap.
+  std::size_t total_violations = 0;
+  /// True iff `violations` is incomplete (total_violations exceeded the
+  /// cap); never silently conflated with a short genuine list.
+  bool truncated = false;
 
   explicit operator bool() const { return ok; }
+
+  /// Records one violating site, honoring the cap.
+  void add_violation(Violation v, std::size_t max_violations) {
+    ok = false;
+    ++total_violations;
+    if (violations.size() < max_violations) {
+      violations.push_back(v);
+    } else {
+      truncated = true;
+    }
+  }
 };
 
 /// Evaluates all constraints of `lcl` on (input, output) over g.

@@ -33,6 +33,12 @@ struct RoundReport {
     for (int x : r.node_rounds) r.rounds = std::max(r.rounds, x);
     return r;
   }
+
+  /// Report for algorithms that account rounds globally rather than per
+  /// node: every node is charged the same count.
+  static RoundReport uniform(const Graph& g, int rounds) {
+    return RoundReport{NodeMap<int>(g, rounds), rounds};
+  }
 };
 
 /// Runs `fn` once per node with a fresh LocalView and collects radii.

@@ -274,5 +274,23 @@ TEST(Checker, ViolationCapRespected) {
   EXPECT_EQ(res.violations.size(), 5u);
 }
 
+TEST(Checker, TruncationIsExplicit) {
+  // Every node and edge of the all-empty labeling violates sinkless
+  // orientation: 50 node sites + 50 edge sites.
+  Graph g = build::cycle(50);
+  const SinklessOrientation lcl;
+  NeLabeling input(g), output(g);
+  const auto capped = check_ne_lcl(g, lcl, input, output, 5);
+  EXPECT_TRUE(capped.truncated);
+  EXPECT_EQ(capped.total_violations, 100u);
+  EXPECT_EQ(capped.violations.size(), 5u);
+
+  // A cap that fits everything must not be flagged.
+  const auto full = check_ne_lcl(g, lcl, input, output, 200);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.total_violations, 100u);
+  EXPECT_EQ(full.violations.size(), 100u);
+}
+
 }  // namespace
 }  // namespace padlock
