@@ -1,12 +1,12 @@
 // E1 — Figure 1 of the paper: the complexity landscape of LCLs.
 //
-// Registry-driven since the Runner redesign: instead of hard-coding one
-// call site per problem, the bench iterates every registered (problem,
-// algorithm) pair, picks a suitable instance family per pair (an oriented
-// cycle for the cycle-only algorithms, a random cubic graph otherwise),
-// and reports the measured LOCAL round counts across three decades of n.
-// Every run is verified through the pair's problem checker — a failed
-// check aborts the bench.
+// Batched since the ExecutionPlan refactor: the bench declares one plan —
+// every registered (problem, algorithm) pair × a cycle/random-cubic menu
+// across three decades of n — and run_batch executes the cross-product on
+// the thread pool (pass --threads N to pin the worker count; default: all
+// cores). Per pair the table shows the cubic instance unless the pair's
+// precondition restricts it to cycles. The O(id_space)-rounds color-reduce
+// baseline gets its own small-capped plan instead of a silent skip.
 //
 // Shapes to observe: the Θ(log* n) rows are essentially flat, the
 // randomized O(log n) rows grow gently, the deterministic sinkless row
@@ -14,6 +14,7 @@
 // exponential base gap the paper builds on — and the color-reduce row is
 // the linear-in-id-space trivial baseline.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -25,50 +26,77 @@
 
 using namespace padlock;
 
-int main() {
+int main(int argc, char** argv) {
+  set_threads_from_args(argc, argv);  // default: all cores
+
   std::printf("E1 / Figure 1 — LCL complexity landscape (measured rounds)\n");
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   const int lg_min = 10, lg_max = 14;  // 2^15+: simple-regular repair turns quadratic
-  std::vector<std::string> headers{"problem/algorithm", "mode"};
-  std::vector<Graph> cycles, cubics;  // one instance per lg, shared by all pairs
-  for (int lg = lg_min; lg <= lg_max; ++lg) {
-    headers.push_back("n=2^" + std::to_string(lg));
-    const std::size_t n = std::size_t{1} << lg;
-    cycles.push_back(build::cycle(n));
-    cubics.push_back(build::random_regular_simple(n, 3, 23 + lg));
+  const int lg_cap = 12;               // color-reduce: O(id_space) rounds
+
+  ExecutionPlan plan, baseline;  // baseline = the capped color-reduce rows
+  for (const auto& [problem, algo] : registry.pairs()) {
+    (algo->name == "color-reduce" ? baseline : plan)
+        .pairs.emplace_back(problem->name, algo->name);
   }
+  // Menu order per size: cycle first, cubic second (the render below
+  // prefers cubic and falls back to cycle on precondition skips).
+  for (int lg = lg_min; lg <= lg_max; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    plan.graphs.push_back({"cycle", n, 3, static_cast<std::uint64_t>(23 + lg)});
+    plan.graphs.push_back(
+        {"regular", n, 3, static_cast<std::uint64_t>(23 + lg)});
+    if (lg <= lg_cap) {
+      baseline.graphs.push_back(
+          {"cycle", n, 3, static_cast<std::uint64_t>(23 + lg)});
+      baseline.graphs.push_back(
+          {"regular", n, 3, static_cast<std::uint64_t>(23 + lg)});
+    }
+  }
+  plan.options.seed = 41;
+  baseline.options.seed = 41;
+
+  const SweepOutcome swept = run_batch(plan);
+  const SweepOutcome capped = run_batch(baseline);
+  PADLOCK_REQUIRE(swept.all_ok());
+  PADLOCK_REQUIRE(capped.all_ok());
+
+  std::vector<std::string> headers{"problem/algorithm", "mode"};
+  for (int lg = lg_min; lg <= lg_max; ++lg)
+    headers.push_back("n=2^" + std::to_string(lg));
   Table t(std::move(headers));
 
-  for (const auto& [problem, algo] : registry.pairs()) {
-    std::vector<std::string> row{problem->name + "/" + algo->name,
-                                 std::string(determinism_name(algo->determinism))};
-    for (int lg = lg_min; lg <= lg_max; ++lg) {
-      if (algo->name == "color-reduce" && lg > 12) {
-        row.push_back("-");  // O(id_space) rounds: skip the big instances
-        continue;
+  const auto render = [&](const ExecutionPlan& p, const SweepOutcome& o) {
+    const std::size_t menu = p.graphs.size();
+    for (std::size_t pi = 0; pi < p.pairs.size(); ++pi) {
+      const auto& [prob, alg] = p.pairs[pi];
+      std::vector<std::string> row{
+          prob + "/" + alg,
+          std::string(determinism_name(registry.algo(prob, alg).determinism))};
+      for (int lg = lg_min; lg <= lg_max; ++lg) {
+        const auto li = static_cast<std::size_t>(2 * (lg - lg_min));
+        if (li + 1 >= menu) {
+          row.push_back("-");  // beyond this plan's size cap
+          continue;
+        }
+        const SweepRow& cubic = o.rows[pi * menu + li + 1];
+        const SweepRow& cyc = o.rows[pi * menu + li];
+        const SweepRow& cell = cubic.skipped ? cyc : cubic;
+        row.push_back(cell.skipped ? "-" : std::to_string(cell.rounds));
       }
-      // Cycle-only algorithms run on the cycle family; everything else on
-      // random cubic graphs (the paper's hard instances are regular).
-      const Graph& cubic = cubics[static_cast<std::size_t>(lg - lg_min)];
-      const Graph& cyc = cycles[static_cast<std::size_t>(lg - lg_min)];
-      const Graph& g =
-          (algo->precondition && !algo->precondition(cubic)) ? cyc : cubic;
-      PADLOCK_REQUIRE(!algo->precondition || algo->precondition(g));
-
-      RunOptions opts;
-      opts.seed = static_cast<std::uint64_t>(41 + lg);
-      const SolveOutcome outcome = run(*problem, *algo, g, opts);
-      PADLOCK_REQUIRE(outcome.verification.ok);
-      row.push_back(std::to_string(outcome.rounds.rounds));
+      t.add_row(std::move(row));
     }
-    t.add_row(std::move(row));
-  }
+  };
+  render(plan, swept);
+  render(baseline, capped);
   t.print();
+
+  std::printf("(batch: %.1f ms on %d threads)\n",
+              (swept.wall_ns + capped.wall_ns) / 1e6, swept.threads);
   std::printf(
-      "\nExpected shapes: log*-class rows are flat (~7); MIS/matching grow\n"
-      "gently (O(log n) w.h.p.); sinkless det climbs with log2 n while\n"
-      "sinkless rand stays near-constant (log log n regime); color-reduce\n"
-      "is the linear baseline (rounds = id space).\n");
+      "\nExpected shapes: log*-band rows flat; randomized O(log n) rows\n"
+      "gentle; deterministic sinkless climbs with log2(n) while randomized\n"
+      "stays near-constant; color-reduce is the linear baseline.\n");
   return 0;
 }

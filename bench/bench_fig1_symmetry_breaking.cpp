@@ -1,15 +1,14 @@
 // E1b (extension of E1) — more dots in the Figure 1 landscape: the
 // Θ(log* n) symmetry-breaking band next to the Θ(log n) band.
 //
-// Registry-driven since the Runner redesign: the bench iterates the
-// *deterministic* registered pairs (the band structure is a statement
-// about deterministic complexities), runs each on its instance family —
-// random cubic graphs, except oriented cycles for the cycle-only
-// algorithms and high-girth regular graphs for sinkless orientation (the
-// paper's lower-bound instances) — and prints measured rounds per n. The
-// log*-band rows must stay essentially flat across three decades of n
-// while the log-band rows climb.
+// Batched since the ExecutionPlan refactor: one plan per instance family —
+// random cubic graphs for the deterministic pairs, high-girth regular
+// graphs for the orientation family (the paper's lower-bound instances),
+// cycles as the fallback for cycle-only algorithms — executed by run_batch
+// across the thread pool. The log*-band rows must stay essentially flat
+// across three decades of n while the log-band rows climb.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,49 +20,89 @@
 
 using namespace padlock;
 
-int main() {
+int main(int argc, char** argv) {
+  set_threads_from_args(argc, argv);  // default: all cores
+
   std::printf(
       "E1b / Figure 1 — the Theta(log* n) symmetry-breaking band vs the\n"
       "Theta(log n) band, deterministic pairs of the registry\n\n");
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   const int lg_min = 8, lg_max = 14, lg_step = 2;
-  std::vector<std::string> headers{"problem/algorithm"};
-  // One instance per (family, lg), shared by all pairs. The hard instances
-  // for sinkless orientation are high-girth.
-  std::vector<Graph> cycles, cubics, high_girth;
-  for (int lg = lg_min; lg <= lg_max; lg += lg_step) {
-    headers.push_back("n=2^" + std::to_string(lg));
-    const std::size_t n = std::size_t{1} << lg;
-    cycles.push_back(build::cycle(n));
-    cubics.push_back(build::random_regular_simple(n, 3, 401 + lg));
-    high_girth.push_back(build::high_girth_regular(n, 3, 2 * lg / 3, 403 + lg));
-  }
-  Table t(std::move(headers));
+  const int lg_cap = 12;  // color-reduce: linear baseline, skip big sizes
 
+  // One plan per family. Deterministic pairs only (the band structure is a
+  // statement about deterministic complexities).
+  ExecutionPlan general, orientation, baseline;
   for (const auto& [problem, algo] : registry.pairs()) {
     if (algo->determinism != Determinism::kDeterministic) continue;
-    std::vector<std::string> row{problem->name + "/" + algo->name};
-    for (int lg = lg_min; lg <= lg_max; lg += lg_step) {
-      if (algo->name == "color-reduce" && lg > 12) {
-        row.push_back("-");  // linear baseline: skip the big instances
-        continue;
-      }
-      const auto i = static_cast<std::size_t>((lg - lg_min) / lg_step);
-      const Graph* g = problem->family == "orientation" ? &high_girth[i]
-                                                        : &cubics[i];
-      if (algo->precondition && !algo->precondition(*g)) g = &cycles[i];
-      PADLOCK_REQUIRE(!algo->precondition || algo->precondition(*g));
-
-      RunOptions opts;
-      opts.seed = static_cast<std::uint64_t>(lg);
-      const SolveOutcome outcome = run(*problem, *algo, *g, opts);
-      PADLOCK_REQUIRE(outcome.verification.ok);
-      row.push_back(std::to_string(outcome.rounds.rounds));
+    if (algo->name == "color-reduce") {
+      baseline.pairs.emplace_back(problem->name, algo->name);
+    } else if (problem->family == "orientation") {
+      orientation.pairs.emplace_back(problem->name, algo->name);
+    } else {
+      general.pairs.emplace_back(problem->name, algo->name);
     }
-    t.add_row(std::move(row));
   }
+  for (int lg = lg_min; lg <= lg_max; lg += lg_step) {
+    const std::size_t n = std::size_t{1} << lg;
+    const auto seed = static_cast<std::uint64_t>(401 + lg);
+    general.graphs.push_back({"cycle", n, 3, seed});
+    general.graphs.push_back({"regular", n, 3, seed});
+    orientation.graphs.push_back({"high-girth", n, 3, seed + 2});
+    if (lg <= lg_cap) {
+      baseline.graphs.push_back({"cycle", n, 3, seed});
+      baseline.graphs.push_back({"regular", n, 3, seed});
+    }
+  }
+  for (ExecutionPlan* p : {&general, &orientation, &baseline})
+    p->options.seed = lg_min;
+
+  const SweepOutcome general_out = run_batch(general);
+  const SweepOutcome orientation_out = run_batch(orientation);
+  const SweepOutcome baseline_out = run_batch(baseline);
+  for (const SweepOutcome* o :
+       {&general_out, &orientation_out, &baseline_out})
+    PADLOCK_REQUIRE(o->all_ok());
+
+  std::vector<std::string> headers{"problem/algorithm"};
+  for (int lg = lg_min; lg <= lg_max; lg += lg_step)
+    headers.push_back("n=2^" + std::to_string(lg));
+  Table t(std::move(headers));
+
+  // Cells prefer the family instance (cubic / high-girth); plans whose menu
+  // has two entries per size use the cycle entry as the fallback.
+  const auto render = [&](const ExecutionPlan& p, const SweepOutcome& o,
+                          std::size_t per_size) {
+    const std::size_t menu = p.graphs.size();
+    for (std::size_t pi = 0; pi < p.pairs.size(); ++pi) {
+      std::vector<std::string> row{p.pairs[pi].first + "/" +
+                                   p.pairs[pi].second};
+      for (int lg = lg_min; lg <= lg_max; lg += lg_step) {
+        const auto si =
+            static_cast<std::size_t>((lg - lg_min) / lg_step) * per_size;
+        if (si + per_size - 1 >= menu) {
+          row.push_back("-");
+          continue;
+        }
+        const SweepRow& primary = o.rows[pi * menu + si + per_size - 1];
+        const SweepRow& cell =
+            primary.skipped && per_size > 1 ? o.rows[pi * menu + si] : primary;
+        row.push_back(cell.skipped ? "-" : std::to_string(cell.rounds));
+      }
+      t.add_row(std::move(row));
+    }
+  };
+  render(general, general_out, 2);
+  render(orientation, orientation_out, 1);
+  render(baseline, baseline_out, 2);
   t.print();
+
+  std::printf(
+      "(batch: %.1f ms on %d threads)\n",
+      (general_out.wall_ns + orientation_out.wall_ns + baseline_out.wall_ns) /
+          1e6,
+      general_out.threads);
   std::printf(
       "\nExpected shape: the log*-band rows are flat or creep by O(1)\n"
       "(their log* / O(log n)-bit schedules barely notice n); the ruling-\n"

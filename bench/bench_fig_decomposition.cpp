@@ -5,56 +5,112 @@
 // Two tables: (a) the randomized (O(log n), O(log n)) network
 // decomposition baseline (colors, cluster radius, rounds vs n); (b) the
 // measured D/R of Π_1, Π_2, Π_3 side by side — the ratio does not grow
-// with the level, matching the paper's observation.
+// with the level, matching the paper's observation. Batched since the
+// ExecutionPlan refactor: every table row is one scenario task executed
+// across the thread pool.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "algo/decomposition.hpp"
 #include "core/hierarchy.hpp"
+#include "core/runner.hpp"
 #include "graph/builders.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
 
 using namespace padlock;
 
-int main() {
+namespace {
+
+struct DecompResult {
+  int colors = 0;
+  int radius = 0;
+  int rounds = 0;
+};
+
+struct LevelResult {
+  std::size_t total = 0;
+  int det = 0;
+  double rnd = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_threads_from_args(argc, argv);  // default: all cores
+
+  const int lg_min = 8, lg_max = 13;
+  std::vector<DecompResult> decomp(static_cast<std::size_t>(lg_max - lg_min) +
+                                   1);
+  struct Cfg {
+    int level;
+    std::size_t base;
+  };
+  const std::vector<Cfg> cfgs{{1, 4096}, {2, 256}, {3, 16}};
+  std::vector<LevelResult> levels(cfgs.size());
+
+  std::vector<ScenarioTask> tasks;
+  for (int lg = lg_min; lg <= lg_max; ++lg) {
+    tasks.push_back(
+        {"decomposition/n=2^" + std::to_string(lg),
+         [lg, lg_min, &decomp](SweepRow& row) {
+           const std::size_t n = std::size_t{1} << lg;
+           const Graph g = build::random_regular_simple(n, 3, 71 + lg);
+           const auto d = network_decomposition(g, shuffled_ids(g, lg), 73 + lg);
+           PADLOCK_REQUIRE(decomposition_valid(g, d, 2 + lg));
+           decomp[static_cast<std::size_t>(lg - lg_min)] = {
+               d.num_colors, d.max_cluster_radius, d.rounds};
+           row.nodes = n;
+           row.rounds = d.rounds;
+         }});
+  }
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const Cfg c = cfgs[i];
+    tasks.push_back({"hierarchy/pi_" + std::to_string(c.level),
+                     [i, c, &levels](SweepRow& row) {
+                       const auto h =
+                           build_hierarchy(c.level, c.base, 911 + c.base);
+                       const auto det = solve_hierarchy(h, false, 3);
+                       PADLOCK_REQUIRE(det.leaf_output_sinkless);
+                       double rnd_mean = 0;
+                       const int kSeeds = 5;
+                       for (int sd = 0; sd < kSeeds; ++sd) {
+                         const auto rnd = solve_hierarchy(h, true, 3 + 7 * sd);
+                         PADLOCK_REQUIRE(rnd.leaf_output_sinkless);
+                         rnd_mean += rnd.rounds;
+                       }
+                       rnd_mean /= kSeeds;
+                       levels[i] = {h.total_nodes(), det.rounds, rnd_mean};
+                       row.nodes = h.total_nodes();
+                       row.rounds = det.rounds;
+                     }});
+  }
+  const SweepOutcome out = run_scenarios(tasks);
+
   std::printf("E6a — randomized (O(log n), O(log n)) network decomposition\n");
   Table a({"n", "log2(n)", "colors", "max cluster radius", "rounds"});
-  for (int lg = 8; lg <= 13; ++lg) {
-    const std::size_t n = std::size_t{1} << lg;
-    Graph g = build::random_regular_simple(n, 3, 71 + lg);
-    const auto d = network_decomposition(g, shuffled_ids(g, lg), 73 + lg);
-    PADLOCK_REQUIRE(decomposition_valid(g, d, 2 + lg));
-    a.add_row({std::to_string(n), std::to_string(lg),
-               std::to_string(d.num_colors),
-               std::to_string(d.max_cluster_radius),
-               std::to_string(d.rounds)});
+  for (int lg = lg_min; lg <= lg_max; ++lg) {
+    const DecompResult& r = decomp[static_cast<std::size_t>(lg - lg_min)];
+    a.add_row({std::to_string(std::size_t{1} << lg), std::to_string(lg),
+               std::to_string(r.colors), std::to_string(r.radius),
+               std::to_string(r.rounds)});
   }
   a.print();
 
   std::printf("\nE6b — D/R across the hierarchy (fixed-size instances)\n");
   Table b({"problem", "N", "det", "rand", "D/R"});
-  struct Cfg {
-    int level;
-    std::size_t base;
-  };
-  for (const Cfg c : {Cfg{1, 4096}, Cfg{2, 256}, Cfg{3, 16}}) {
-    const auto h = build_hierarchy(c.level, c.base, 911 + c.base);
-    const auto det = solve_hierarchy(h, false, 3);
-    PADLOCK_REQUIRE(det.leaf_output_sinkless);
-    double rnd_mean = 0;
-    const int kSeeds = 5;
-    for (int sd = 0; sd < kSeeds; ++sd) {
-      const auto rnd = solve_hierarchy(h, true, 3 + 7 * sd);
-      PADLOCK_REQUIRE(rnd.leaf_output_sinkless);
-      rnd_mean += rnd.rounds;
-    }
-    rnd_mean /= kSeeds;
-    b.add_row({"Pi_" + std::to_string(c.level),
-               std::to_string(h.total_nodes()), std::to_string(det.rounds),
-               fmt(rnd_mean, 1), fmt(det.rounds / rnd_mean, 2)});
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const LevelResult& r = levels[i];
+    b.add_row({"Pi_" + std::to_string(cfgs[i].level), std::to_string(r.total),
+               std::to_string(r.det), fmt(r.rnd, 1),
+               fmt(r.det / r.rnd, 2)});
   }
   b.print();
+  std::printf("(batch: %.1f ms on %d threads)\n", out.wall_ns / 1e6,
+              out.threads);
   std::printf(
       "\nExpected shapes: decomposition colors and radius both O(log n)\n"
       "(rounds O(log² n)); the D/R column stays in the same Θ(log/loglog)\n"

@@ -10,12 +10,20 @@
 // versus the tree family's Θ(log² N) / Θ(log N log log N) at the same N.
 // The D/R ratio is the *same* Θ(log n / log log n) in both families — the
 // paper's observation that all known gaps share this ratio.
+//
+// Batched since the ExecutionPlan refactor: each (base size, family) pair
+// is one scenario task executed across the thread pool.
+#include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "algo/sinkless_det.hpp"
 #include "algo/sinkless_rand.hpp"
 #include "core/hierarchy.hpp"
+#include "core/runner.hpp"
 #include "gadget/path_gadget.hpp"
 #include "graph/builders.hpp"
 #include "lcl/problems/sinkless_orientation.hpp"
@@ -78,21 +86,44 @@ Run run_family(const Graph& base, bool path_family, int delta,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  set_threads_from_args(argc, argv);  // default: all cores
+
   std::printf(
       "E8 / Theorem 1 generality — padding sinkless orientation with the\n"
       "path (linear, Δ) family vs the tree (log, Δ) family, balanced split\n"
       "(base √N, gadgets √N):\n\n");
+
+  const std::vector<std::size_t> bases{32, 64, 128, 256};
+  // results[i][0] = tree family, results[i][1] = path family.
+  std::vector<std::array<Run, 2>> results(bases.size());
+  std::vector<ScenarioTask> tasks;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    for (const bool path : {false, true}) {
+      const std::size_t base = bases[i];
+      tasks.push_back({std::string(path ? "path" : "tree") +
+                           "/base=" + std::to_string(base),
+                       [i, base, path, &results](SweepRow& row) {
+                         const Graph g =
+                             build::high_girth_regular(base, 3, 6, 31 + base);
+                         // Balanced: gadget size ≈ base size.
+                         const Run r = run_family(g, path, 3, base);
+                         results[i][path ? 1 : 0] = r;
+                         row.nodes = r.nodes;
+                         row.rounds = r.det;
+                       }});
+    }
+  }
+  const SweepOutcome out = run_scenarios(tasks);
+
   Table t({"base n", "N tree", "tree det", "tree rnd", "N path", "path det",
            "path rnd", "path/tree det", "sqrtN*logN/log2N"});
-  for (const std::size_t base : {32u, 64u, 128u, 256u}) {
-    const Graph g = build::high_girth_regular(base, 3, 6, 31 + base);
-    // Balanced: gadget size ≈ base size on both families.
-    const Run tree = run_family(g, false, 3, base);
-    const Run path = run_family(g, true, 3, base);
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const Run& tree = results[i][0];
+    const Run& path = results[i][1];
     const double lgN = std::log2(static_cast<double>(path.nodes));
     const double pred = std::sqrt(static_cast<double>(path.nodes)) / lgN;
-    t.add_row({std::to_string(base), std::to_string(tree.nodes),
+    t.add_row({std::to_string(bases[i]), std::to_string(tree.nodes),
                std::to_string(tree.det), fmt(tree.rnd, 1),
                std::to_string(path.nodes), std::to_string(path.det),
                fmt(path.rnd, 1),
@@ -100,6 +131,8 @@ int main() {
                fmt(pred, 2)});
   }
   t.print();
+  std::printf("(batch: %.1f ms on %d threads)\n", out.wall_ns / 1e6,
+              out.threads);
   std::printf(
       "\nExpected shape: tree rounds grow polylogarithmically, path rounds\n"
       "polynomially (stretch Θ(√N) instead of Θ(log N)); the path/tree\n"

@@ -1,11 +1,25 @@
-// E7 — micro benchmarks (google-benchmark): throughput of the hot
-// simulator paths so regressions in the substrate are visible, plus a
-// registry-driven section that benches every registered (problem,
-// algorithm) pair end to end through the unified Runner API (solve +
-// verification) — new registrations join the bench automatically.
-#include <benchmark/benchmark.h>
-
+// E7 — micro benchmarks, thread-pooled: one run_batch sweep over every
+// registered (problem, algorithm) pair (solve + verification end to end
+// through the unified Runner API — new registrations join automatically)
+// plus a run_scenarios batch over the substrate hot paths (graph builders,
+// checker, gadget/path verifiers, power/line graphs, padded-instance
+// serialization).
+//
+// Usage: bench_micro [--threads N] [--repeat R] [--sizes a,b,...]
+//                    [--json PATH] [--no-json]
+//
+// Wall-clock results are written machine-readably to BENCH_micro.json
+// (pair, n, rounds, wall_ns, threads) so the perf trajectory accumulates
+// across commits; the total wall line at the end is the number to compare
+// across --threads settings (the sweep parallelizes across runs, so
+// --threads $(nproc) vs --threads 1 measures the pool's scaling).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/padded_graph.hpp"
 #include "core/registry.hpp"
@@ -18,149 +32,211 @@
 #include "io/serialize.hpp"
 #include "lcl/checker.hpp"
 #include "lcl/problems/sinkless_orientation.hpp"
+#include "support/table.hpp"
 
-namespace padlock {
+using namespace padlock;
+
 namespace {
 
-void BM_BuildRandomRegular(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    Graph g = build::random_regular(n, 3, seed++);
-    benchmark::DoNotOptimize(g.num_edges());
+// Substrate hot paths as scenario tasks. Setup (instance construction) is
+// hoisted into shared_ptr captures at task-creation time so each timed
+// body exercises only the path its label names; bodies are self-contained
+// so the pool may run them concurrently.
+std::vector<ScenarioTask> substrate_scenarios() {
+  std::vector<ScenarioTask> tasks;
+  for (const std::size_t n : {std::size_t{1} << 10, std::size_t{1} << 14}) {
+    tasks.push_back({"build/random-regular/n=" + std::to_string(n),
+                     [n](SweepRow& row) {
+                       const Graph g = build::random_regular(n, 3, 1);
+                       row.nodes = g.num_nodes();
+                       row.edges = g.num_edges();
+                     }});
+    {
+      auto g = std::make_shared<Graph>(build::random_regular(n, 3, 5));
+      RunOptions opts;
+      opts.seed = 7;
+      opts.check = false;
+      auto solution = std::make_shared<NeLabeling>(
+          run("sinkless-orientation", "propose-repair", *g, opts).output);
+      tasks.push_back({"check/ne-lcl/n=" + std::to_string(n),
+                       [g, solution](SweepRow& row) {
+                         const NeLabeling input(*g);
+                         const SinklessOrientation lcl;
+                         const auto chk =
+                             check_ne_lcl(*g, lcl, input, *solution);
+                         row.nodes = g->num_nodes();
+                         row.ok = chk.ok;
+                       }});
+    }
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-}
-BENCHMARK(BM_BuildRandomRegular)->Arg(1 << 10)->Arg(1 << 14);
-
-void BM_NeLclChecker(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Graph g = build::random_regular(n, 3, 5);
-  // A valid solution to check, produced through the registry.
-  RunOptions opts;
-  opts.seed = 7;
-  opts.check = false;
-  const SolveOutcome solved =
-      run("sinkless-orientation", "propose-repair", g, opts);
-  const NeLabeling input(g);
-  const SinklessOrientation lcl;
-  for (auto _ : state) {
-    auto chk = check_ne_lcl(g, lcl, input, solved.output);
-    benchmark::DoNotOptimize(chk.ok);
+  for (const int height : {6, 9}) {
+    auto inst = std::make_shared<GadgetInstance>(build_gadget(3, height));
+    tasks.push_back({"gadget/verifier/h=" + std::to_string(height),
+                     [inst](SweepRow& row) {
+                       const auto res =
+                           run_gadget_verifier(inst->graph, inst->labels);
+                       row.nodes = inst->graph.num_nodes();
+                       row.ok = !res.found_error;
+                       row.rounds = res.report.rounds;
+                     }});
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-}
-BENCHMARK(BM_NeLclChecker)->Arg(1 << 10)->Arg(1 << 14);
-
-void BM_GadgetVerifier(benchmark::State& state) {
-  const auto inst = build_gadget(3, static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto res = run_gadget_verifier(inst.graph, inst.labels);
-    benchmark::DoNotOptimize(res.found_error);
+  for (const int length : {64, 512}) {
+    auto inst = std::make_shared<GadgetInstance>(build_path_gadget(3, length));
+    tasks.push_back({"gadget/path-verifier/len=" + std::to_string(length),
+                     [inst](SweepRow& row) {
+                       const auto res =
+                           run_path_verifier_ne(inst->graph, inst->labels);
+                       row.nodes = inst->graph.num_nodes();
+                       row.ok = !res.found_error;
+                     }});
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(inst.graph.num_nodes()));
-}
-BENCHMARK(BM_GadgetVerifier)->Arg(6)->Arg(9);
-
-void BM_BuildPaddedInstance(benchmark::State& state) {
-  Graph base = build::random_regular_simple(
-      static_cast<std::size_t>(state.range(0)), 3, 9);
-  const NeLabeling input(base);
-  for (auto _ : state) {
-    auto pb = build_padded_instance(base, input, 3, 5);
-    benchmark::DoNotOptimize(pb.instance.graph.num_nodes());
+  for (const std::size_t n : {std::size_t{64}, std::size_t{256}}) {
+    auto base = std::make_shared<Graph>(build::random_regular_simple(n, 3, 9));
+    tasks.push_back({"build/padded-instance/base=" + std::to_string(n),
+                     [base](SweepRow& row) {
+                       const NeLabeling input(*base);
+                       const auto pb = build_padded_instance(*base, input, 3, 5);
+                       row.nodes = pb.instance.graph.num_nodes();
+                     }});
   }
-}
-BENCHMARK(BM_BuildPaddedInstance)->Arg(64)->Arg(256);
-
-
-void BM_PathVerifier(benchmark::State& state) {
-  const int length = static_cast<int>(state.range(0));
-  const GadgetInstance inst = build_path_gadget(3, length);
-  for (auto _ : state) {
-    auto res = run_path_verifier_ne(inst.graph, inst.labels);
-    benchmark::DoNotOptimize(res.found_error);
+  for (const std::size_t n : {std::size_t{1} << 10, std::size_t{1} << 13}) {
+    auto g9 = std::make_shared<Graph>(build::random_regular_simple(n, 3, 9));
+    auto g10 = std::make_shared<Graph>(build::random_regular_simple(n, 3, 10));
+    tasks.push_back({"graph/power-square/n=" + std::to_string(n),
+                     [g9](SweepRow& row) {
+                       const PowerGraph p = power_graph(*g9, 2);
+                       row.edges = p.graph.num_edges();
+                     }});
+    tasks.push_back({"graph/line-graph/n=" + std::to_string(n),
+                     [g10](SweepRow& row) {
+                       const LineGraph lg = line_graph(*g10);
+                       row.edges = lg.graph.num_edges();
+                     }});
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(inst.graph.num_nodes()));
-}
-BENCHMARK(BM_PathVerifier)->Arg(64)->Arg(512);
-
-void BM_PowerGraphSquare(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const Graph g = build::random_regular_simple(n, 3, 9);
-  for (auto _ : state) {
-    PowerGraph p = power_graph(g, 2);
-    benchmark::DoNotOptimize(p.graph.num_edges());
+  for (const std::size_t n : {std::size_t{32}, std::size_t{128}}) {
+    const Graph base = build::random_regular(n, 3, 11);
+    auto pb = std::make_shared<PaddedBuild>(
+        build_padded_instance(base, NeLabeling(base), 3, 4));
+    tasks.push_back(
+        {"io/padded-roundtrip/base=" + std::to_string(n),
+         [pb](SweepRow& row) {
+           std::stringstream ss;
+           io::write_padded_instance(ss, pb->instance);
+           const PaddedInstance back = io::read_padded_instance(ss);
+           row.nodes = back.graph.num_nodes();
+         }});
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  return tasks;
 }
-BENCHMARK(BM_PowerGraphSquare)->Arg(1 << 10)->Arg(1 << 13);
 
-void BM_LineGraph(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const Graph g = build::random_regular_simple(n, 3, 10);
-  for (auto _ : state) {
-    LineGraph lg = line_graph(g);
-    benchmark::DoNotOptimize(lg.graph.num_edges());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-}
-BENCHMARK(BM_LineGraph)->Arg(1 << 10)->Arg(1 << 13);
-
-void BM_SerializePaddedRoundTrip(benchmark::State& state) {
-  const auto base_n = static_cast<std::size_t>(state.range(0));
-  const Graph base = build::random_regular(base_n, 3, 11);
-  const PaddedBuild pb = build_padded_instance(base, NeLabeling(base), 3, 4);
-  for (auto _ : state) {
-    std::stringstream ss;
-    io::write_padded_instance(ss, pb.instance);
-    PaddedInstance back = io::read_padded_instance(ss);
-    benchmark::DoNotOptimize(back.graph.num_edges());
-  }
-  state.SetItemsProcessed(
-      state.iterations() *
-      static_cast<int64_t>(pb.instance.graph.num_nodes()));
-}
-BENCHMARK(BM_SerializePaddedRoundTrip)->Arg(32)->Arg(128);
-
-// One benchmark per registered (problem, algorithm) pair, end to end
-// through the runner: id assignment, solve, round accounting, and the
-// default verification pass. Registered dynamically so the bench iterates
-// the registry instead of hard-coding call sites.
-void register_runner_benchmarks() {
-  static const Graph cubic = build::random_regular_simple(1 << 10, 3, 5);
-  static const Graph cyc = build::cycle(1 << 10);
-  for (const auto& [problem, algo] : AlgorithmRegistry::instance().pairs()) {
-    if (algo->name == "color-reduce") continue;  // O(id_space) rounds
-    const Graph* g = &cubic;
-    if (algo->precondition && !algo->precondition(*g)) g = &cyc;
-    if (algo->precondition && !algo->precondition(*g)) continue;
+void print_rows(const char* title, const SweepOutcome& outcome) {
+  std::printf("\n%s (threads=%d)\n", title, outcome.threads);
+  Table t({"workload", "n", "rounds", "ok", "wall min (us)", "wall med (us)"});
+  for (const SweepRow& row : outcome.rows) {
+    if (row.skipped) continue;
     const std::string name =
-        "BM_Runner/" + problem->name + "/" + algo->name;
-    benchmark::RegisterBenchmark(
-        name.c_str(), [problem, algo, g](benchmark::State& state) {
-          RunOptions opts;
-          for (auto _ : state) {
-            ++opts.seed;
-            const SolveOutcome outcome = run(*problem, *algo, *g, opts);
-            benchmark::DoNotOptimize(outcome.verification.ok);
-          }
-          state.SetItemsProcessed(state.iterations() *
-                                  static_cast<int64_t>(g->num_nodes()));
-        });
+        row.algo.empty() ? row.problem : row.problem + "/" + row.algo;
+    t.add_row({name + (row.graph.family.empty()
+                           ? ""
+                           : " @" + row.graph.family),
+               std::to_string(row.nodes), std::to_string(row.rounds),
+               row.ok ? "yes" : "NO", fmt(row.wall_ns_min / 1e3, 1),
+               fmt(row.wall_ns_median / 1e3, 1)});
   }
+  t.print();
 }
 
 }  // namespace
-}  // namespace padlock
 
 int main(int argc, char** argv) {
-  padlock::register_runner_benchmarks();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  int threads = 0;  // 0 = hardware concurrency
+  int repeat = 3;
+  std::vector<std::size_t> sizes{std::size_t{1} << 10};
+  std::string json_path = "BENCH_micro.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--threads") threads = std::atoi(next());
+    else if (arg == "--repeat") repeat = std::atoi(next());
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--no-json") json_path.clear();
+    else if (arg == "--sizes") {
+      sizes.clear();
+      std::stringstream ss(next());
+      for (std::string tok; std::getline(ss, tok, ',');) {
+        char* end = nullptr;
+        const unsigned long n = std::strtoul(tok.c_str(), &end, 10);
+        if (n == 0 || end == tok.c_str() || *end != '\0') {
+          std::fprintf(stderr,
+                       "bench_micro: --sizes expects positive integers, "
+                       "got '%s'\n",
+                       tok.c_str());
+          return 2;
+        }
+        sizes.push_back(n);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_micro [--threads N] [--repeat R] "
+                   "[--sizes a,b,...] [--json PATH] [--no-json]\n");
+      return 2;
+    }
+  }
+  exec_context().threads = threads;
+
+  // The registry sweep: every pair × {cycle, random cubic} × sizes. The
+  // color-reduce baseline is O(id_space) rounds, so it gets its own plan
+  // capped at small instances instead of a silent skip.
+  ExecutionPlan plan;
+  for (const auto& [problem, algo] : AlgorithmRegistry::instance().pairs()) {
+    if (algo->name == "color-reduce") continue;
+    plan.pairs.emplace_back(problem->name, algo->name);
+  }
+  for (const std::size_t n : sizes) {
+    plan.graphs.push_back({"cycle", n, 3, 5});
+    plan.graphs.push_back({"regular", n, 3, 5});
+  }
+  plan.repeat = repeat;
+  const SweepOutcome runners = run_batch(plan);
+
+  ExecutionPlan small;
+  for (const auto& [problem, algo] : AlgorithmRegistry::instance().pairs()) {
+    if (algo->name == "color-reduce") small.pairs.emplace_back(problem->name,
+                                                               algo->name);
+  }
+  small.graphs.push_back({"cycle", 256, 3, 5});
+  small.graphs.push_back({"regular", 256, 3, 5});
+  small.repeat = repeat;
+  const SweepOutcome baseline = run_batch(small);
+
+  const SweepOutcome substrate = run_scenarios(substrate_scenarios(), repeat);
+
+  print_rows("registry pairs (solve + verify, run_batch)", runners);
+  print_rows("linear baselines", baseline);
+  print_rows("substrate hot paths (run_scenarios)", substrate);
+
+  const bool all_ok =
+      runners.all_ok() && baseline.all_ok() && substrate.all_ok();
+  const std::uint64_t total_ns =
+      runners.wall_ns + baseline.wall_ns + substrate.wall_ns;
+  std::printf("\ntotal wall: %.1f ms across %zu runs, threads=%d, %s\n",
+              total_ns / 1e6,
+              runners.rows.size() + baseline.rows.size() +
+                  substrate.rows.size(),
+              runners.threads, all_ok ? "all verified" : "FAILURES");
+
+  if (!json_path.empty()) {
+    // One merged row set; outcome threads are identical across the batches.
+    SweepOutcome merged = runners;
+    merged.rows.insert(merged.rows.end(), baseline.rows.begin(),
+                       baseline.rows.end());
+    merged.rows.insert(merged.rows.end(), substrate.rows.begin(),
+                       substrate.rows.end());
+    std::ofstream out(json_path);
+    out << to_json(merged);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
 }

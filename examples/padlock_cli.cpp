@@ -3,10 +3,17 @@
 //
 // The landscape surface (the redesigned API; see docs/API.md):
 //   padlock_cli list     [--problem <name>]
-//   padlock_cli run <problem> <algo> --graph <builder> [--nodes N]
+//   padlock_cli run <problem> <algo> --graph <family> [--nodes N]
 //                  [--degree D] [--seed S] [--ids <strategy>] [--no-check]
-//       builders:   cycle path torus cubic cubic-simple high-girth bounded
+//                  [--threads T] [--repeat R]
+//       families:   build::family_names() — path cycle tree torus regular
+//                   multigraph high-girth bounded (+ cubic, cubic-simple)
 //       strategies: sequential shuffled sparse adversarial
+//   padlock_cli sweep    [--pairs p/a,p/a|all] [--family f1,f2] [--sizes
+//                  a,b,c] [--degree D] [--seed S] [--repeat R] [--threads T]
+//                  [--no-check] [--json]
+//       the batched execution plan: pairs × families × sizes through the
+//       thread pool (core/runner.hpp run_batch)
 //
 // The gadget/padding tooling (unchanged):
 //   padlock_cli gadget   --delta 3 --height 4 [--fault <name>] [--dot]
@@ -17,12 +24,15 @@
 //
 // Outputs go to stdout so artifacts can be piped:
 //   padlock_cli pad --base-nodes 9 --dump | padlock_cli verify
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/hierarchy.hpp"
 #include "core/registry.hpp"
@@ -64,33 +74,27 @@ Args parse(int argc, char** argv, int first) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: padlock_cli <list|run|gadget|pad|solve|verify|export> "
-               "[--options]\n(see header comment of padlock_cli.cpp)\n");
+  std::fprintf(
+      stderr,
+      "usage: padlock_cli <list|run|sweep|gadget|pad|solve|verify|export> "
+      "[--options]\n(see header comment of padlock_cli.cpp)\n");
   return 2;
 }
 
-Graph build_graph(const std::string& kind, std::size_t n, int degree,
-                  std::uint64_t seed) {
-  if (kind == "cycle") return build::cycle(n);
-  if (kind == "path") return build::path(n);
-  if (kind == "torus") return build::torus(n / 8 > 0 ? n / 8 : 1, 8);
-  // The regular builders need an even degree sum (same rounding as cmd_pad).
-  if (kind == "cubic" || kind == "cubic-simple") {
-    if (n % 2 != 0) ++n;
-    return kind == "cubic" ? build::random_regular(n, 3, seed)
-                           : build::random_regular_simple(n, 3, seed);
+// Comma-separated list helper for --sizes / --family / --pairs.
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string tok;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!tok.empty()) out.push_back(tok);
+      tok.clear();
+    } else {
+      tok += c;
+    }
   }
-  if (kind == "high-girth") {
-    if ((n * static_cast<std::size_t>(degree)) % 2 != 0) ++n;
-    return build::high_girth_regular(n, degree, 6, seed);
-  }
-  if (kind == "bounded") {
-    return build::random_bounded_degree_simple(n, degree, 0.6, seed);
-  }
-  throw RegistryError("unknown graph builder '" + kind +
-                      "'; expected cycle|path|torus|cubic|cubic-simple|"
-                      "high-girth|bounded");
+  if (!tok.empty()) out.push_back(tok);
+  return out;
 }
 
 int cmd_list(const Args& a) {
@@ -120,6 +124,8 @@ int cmd_run(const std::string& problem, const std::string& algo,
             const Args& a) {
   const auto n = static_cast<std::size_t>(a.num("nodes", 64));
   const int degree = static_cast<int>(a.num("degree", 3));
+  const int repeat = static_cast<int>(a.num("repeat", 1));
+  exec_context().threads = static_cast<int>(a.num("threads", 1));
   RunOptions opts;
   opts.seed = static_cast<std::uint64_t>(a.num("seed", 1));
   opts.ids = id_strategy_from_name(a.str("ids", "shuffled"));
@@ -127,14 +133,33 @@ int cmd_run(const std::string& problem, const std::string& algo,
   opts.max_violations = static_cast<std::size_t>(a.num("max-violations", 16));
 
   const Graph g =
-      build_graph(a.str("graph", "cubic-simple"), n, degree, opts.seed);
-  const SolveOutcome outcome = run(problem, algo, g, opts);
+      build::family(a.str("graph", "cubic-simple"), n, degree, opts.seed);
+
+  // --repeat R: time R identical runs and report min/median wall time.
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::uint64_t> wall_ns;
+  SolveOutcome outcome;
+  for (int r = 0; r < std::max(1, repeat); ++r) {
+    const auto t0 = Clock::now();
+    outcome = run(problem, algo, g, opts);
+    wall_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count()));
+  }
+  const WallStats wall = wall_stats(std::move(wall_ns));
 
   std::printf("%s/%s on %s (%zu nodes, %zu edges, Delta=%d)\n",
               problem.c_str(), algo.c_str(),
               a.str("graph", "cubic-simple").c_str(), g.num_nodes(),
               g.num_edges(), g.max_degree());
   std::printf("rounds: %d\n", outcome.rounds.rounds);
+  if (repeat > 1) {
+    std::printf("wall:   min %.1f us, median %.1f us over %d runs "
+                "(threads=%d)\n",
+                wall.min_ns / 1e3, wall.median_ns / 1e3, repeat,
+                resolved_threads());
+  }
   const std::string stats = outcome.stats.str();
   if (!stats.empty()) std::printf("stats:  %s\n", stats.c_str());
   if (!opts.check) {
@@ -156,6 +181,65 @@ int cmd_run(const std::string& problem, const std::string& algo,
     }
   }
   return 1;
+}
+
+// The batched execution plan: pairs × families × sizes through run_batch.
+int cmd_sweep(const Args& a) {
+  ExecutionPlan plan;
+  const std::string pairs_arg = a.str("pairs", "all");
+  if (pairs_arg != "all") {
+    for (const std::string& spec : split_list(pairs_arg)) {
+      const auto slash = spec.find('/');
+      if (slash == std::string::npos) {
+        throw RegistryError("--pairs expects problem/algo entries, got '" +
+                            spec + "'");
+      }
+      plan.pairs.emplace_back(spec.substr(0, slash), spec.substr(slash + 1));
+    }
+  }
+  const int degree = static_cast<int>(a.num("degree", 3));
+  const auto seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  for (const std::string& family : split_list(a.str("family", "regular"))) {
+    for (const std::string& size : split_list(a.str("sizes", "256,1024"))) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(size.c_str(), &end, 10);
+      if (n == 0 || end == size.c_str() || *end != '\0') {
+        throw RegistryError("--sizes expects positive integers, got '" +
+                            size + "'");
+      }
+      plan.graphs.push_back({family, n, degree, seed});
+    }
+  }
+  plan.options.seed = seed;
+  plan.options.check = !a.flag("no-check");
+  plan.repeat = static_cast<int>(a.num("repeat", 1));
+  plan.threads = static_cast<int>(a.num("threads", 0));
+
+  const SweepOutcome outcome = run_batch(plan);
+  if (a.flag("json")) {
+    std::fputs(to_json(outcome).c_str(), stdout);
+    return outcome.all_ok() ? 0 : 1;
+  }
+  Table t({"problem/algorithm", "family", "n", "rounds", "ok",
+           "wall min (us)", "wall med (us)"});
+  for (const SweepRow& row : outcome.rows) {
+    if (row.skipped) {
+      t.add_row({row.problem + "/" + row.algo, row.graph.family,
+                 std::to_string(row.nodes), "-", "skip: " + row.note, "-",
+                 "-"});
+      continue;
+    }
+    t.add_row({row.problem + "/" + row.algo, row.graph.family,
+               std::to_string(row.nodes), std::to_string(row.rounds),
+               row.ok ? "yes" : "NO " + row.note,
+               fmt(row.wall_ns_min / 1e3, 1),
+               fmt(row.wall_ns_median / 1e3, 1)});
+  }
+  t.print();
+  std::printf("%zu rows in %.1f ms (threads=%d)%s\n", outcome.rows.size(),
+              outcome.wall_ns / 1e6, outcome.threads,
+              outcome.all_ok() ? "" : " — FAILURES");
+  return outcome.all_ok() ? 0 : 1;
 }
 
 GadgetFault fault_by_name(const std::string& name) {
@@ -289,12 +373,14 @@ int main(int argc, char** argv) {
       return cmd_run(argv[2], argv[3], parse(argc, argv, 4));
     }
     const Args a = parse(argc, argv, 2);
+    if (cmd == "sweep") return cmd_sweep(a);
     if (cmd == "gadget") return cmd_gadget(a);
     if (cmd == "pad") return cmd_pad(a);
     if (cmd == "solve") return cmd_solve(a);
     if (cmd == "verify") return cmd_verify(a);
     if (cmd == "export") return cmd_export(a);
-  } catch (const RegistryError& e) {
+  } catch (const std::exception& e) {
+    // RegistryError from dispatch, std::invalid_argument from build::family.
     std::fprintf(stderr, "padlock_cli: %s\n", e.what());
     return 2;
   }

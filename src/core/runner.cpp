@@ -1,7 +1,10 @@
 #include "core/runner.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
 
+#include "graph/builders.hpp"
 #include "support/check.hpp"
 
 namespace padlock {
@@ -108,6 +111,200 @@ SolveOutcome run(const std::string& problem, const std::string& algo,
                  const Graph& g, const RunOptions& opts) {
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
   return run(registry.problem(problem), registry.algo(problem, algo), g, opts);
+}
+
+// ---- batched execution -----------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+void fill_wall_stats(std::vector<std::uint64_t> times, SweepRow& row) {
+  if (times.empty()) return;
+  row.repeat = static_cast<int>(times.size());
+  const WallStats stats = wall_stats(std::move(times));
+  row.wall_ns_min = stats.min_ns;
+  row.wall_ns_median = stats.median_ns;
+}
+
+// Sets exec_context().threads for the scope of one batch and restores it.
+// A batch nested inside a pool worker (a ScenarioTask body calling
+// run_batch) runs inline regardless, so the guard must not mutate the
+// global from that racy position.
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(int threads) : saved_(exec_context().threads) {
+    if (threads != 0 && !ThreadPool::on_worker_thread())
+      exec_context().threads = threads;
+  }
+  ~ThreadsGuard() {
+    if (!ThreadPool::on_worker_thread()) exec_context().threads = saved_;
+  }
+
+ private:
+  int saved_;
+};
+
+}  // namespace
+
+WallStats wall_stats(std::vector<std::uint64_t> samples_ns) {
+  if (samples_ns.empty()) return {};
+  std::sort(samples_ns.begin(), samples_ns.end());
+  const std::size_t mid = samples_ns.size() / 2;
+  return {samples_ns.front(),
+          samples_ns.size() % 2 == 1
+              ? samples_ns[mid]
+              : (samples_ns[mid - 1] + samples_ns[mid]) / 2};
+}
+
+bool SweepOutcome::all_ok() const {
+  for (const SweepRow& row : rows) {
+    if (!row.skipped && !row.ok) return false;
+  }
+  return true;
+}
+
+SweepOutcome run_batch(const ExecutionPlan& plan) {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  // Resolve the pair list up front so name errors surface before any work.
+  std::vector<std::pair<const ProblemSpec*, const AlgoSpec*>> pairs;
+  if (plan.pairs.empty()) {
+    pairs = registry.pairs();
+  } else {
+    pairs.reserve(plan.pairs.size());
+    for (const auto& [p, a] : plan.pairs) {
+      pairs.emplace_back(&registry.problem(p), &registry.algo(p, a));
+    }
+  }
+  PADLOCK_REQUIRE(plan.repeat >= 1);
+
+  ThreadsGuard guard(plan.threads);
+  SweepOutcome outcome;
+  outcome.threads = resolved_threads();
+  const auto batch_t0 = Clock::now();
+
+  // Build the instance menu once, in parallel; every pair shares the same
+  // immutable graphs.
+  std::vector<Graph> graphs(plan.graphs.size());
+  parallel_for(0, plan.graphs.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const GraphSpec& spec = plan.graphs[i];
+      graphs[i] = build::family(spec.family, spec.nodes, spec.degree,
+                                spec.seed);
+    }
+  });
+
+  // One row per (pair, graph) cell, pair-major; each cell is an independent
+  // pool task, so the whole cross-product × repeat sweep saturates the
+  // workers while the rows stay in deterministic order.
+  outcome.rows.resize(pairs.size() * graphs.size());
+  parallel_for(0, outcome.rows.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const auto& [problem, algo] = pairs[i / graphs.size()];
+      const std::size_t gi = i % graphs.size();
+      const Graph& g = graphs[gi];
+
+      SweepRow& row = outcome.rows[i];
+      row.problem = problem->name;
+      row.algo = algo->name;
+      row.graph = plan.graphs[gi];
+      row.nodes = g.num_nodes();
+      row.edges = g.num_edges();
+
+      if (algo->precondition && !algo->precondition(g)) {
+        row.skipped = true;
+        row.note = algo->requires_text.empty() ? "precondition failed"
+                                               : algo->requires_text;
+        continue;
+      }
+
+      row.ok = true;
+      std::vector<std::uint64_t> times;
+      times.reserve(static_cast<std::size_t>(plan.repeat));
+      for (int r = 0; r < plan.repeat; ++r) {
+        RunOptions opts = plan.options;
+        opts.seed += static_cast<std::uint64_t>(r);
+        const auto t0 = Clock::now();
+        const SolveOutcome solved = run(*problem, *algo, g, opts);
+        times.push_back(elapsed_ns(t0));
+        if (r == 0) {
+          row.rounds = solved.rounds.rounds;
+          row.stats = solved.stats;
+        }
+        if (!solved.ok()) {
+          row.ok = false;
+          if (row.note.empty()) {
+            row.note = "verification failed (seed " +
+                       std::to_string(opts.seed) + ", " +
+                       std::to_string(solved.verification.total_violations) +
+                       " sites)";
+          }
+        }
+      }
+      fill_wall_stats(std::move(times), row);
+    }
+  });
+
+  outcome.wall_ns = elapsed_ns(batch_t0);
+  return outcome;
+}
+
+SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
+                           int repeat, int threads) {
+  PADLOCK_REQUIRE(repeat >= 1);
+  ThreadsGuard guard(threads);
+  SweepOutcome outcome;
+  outcome.threads = resolved_threads();
+  const auto batch_t0 = Clock::now();
+
+  outcome.rows.resize(scenarios.size());
+  parallel_for(0, scenarios.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      SweepRow& row = outcome.rows[i];
+      row.problem = scenarios[i].label;
+      row.graph.family.clear();  // no instance menu behind a scenario
+      row.ok = true;
+      std::vector<std::uint64_t> times;
+      times.reserve(static_cast<std::size_t>(repeat));
+      for (int r = 0; r < repeat; ++r) {
+        const auto t0 = Clock::now();
+        scenarios[i].body(row);
+        times.push_back(elapsed_ns(t0));
+      }
+      fill_wall_stats(std::move(times), row);
+    }
+  });
+
+  outcome.wall_ns = elapsed_ns(batch_t0);
+  return outcome;
+}
+
+std::string to_json(const SweepOutcome& outcome) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const SweepRow& row : outcome.rows) {
+    if (row.skipped) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"problem\": \"" << row.problem << "\", \"algo\": \""
+        << row.algo << "\", \"family\": \"" << row.graph.family
+        << "\", \"nodes\": " << row.nodes << ", \"edges\": " << row.edges
+        << ", \"rounds\": " << row.rounds
+        << ", \"ok\": " << (row.ok ? "true" : "false")
+        << ", \"repeat\": " << row.repeat
+        << ", \"wall_ns_min\": " << row.wall_ns_min
+        << ", \"wall_ns_median\": " << row.wall_ns_median
+        << ", \"threads\": " << outcome.threads << "}";
+  }
+  out << "\n]\n";
+  return out.str();
 }
 
 }  // namespace padlock

@@ -10,9 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/registry.hpp"
+#include "support/thread_pool.hpp"
 
 namespace padlock {
 
@@ -40,7 +44,9 @@ enum class IdStrategy {
 [[nodiscard]] IdStrategy id_strategy_from_name(const std::string& name);
 
 struct RunOptions {
-  std::uint64_t seed = 1;
+  /// Defaults to the process-wide base seed (exec_context().seed, itself 1
+  /// unless a surface sets it).
+  std::uint64_t seed = exec_context().seed;
   IdStrategy ids = IdStrategy::kShuffled;
   /// Id space the algorithm's schedule is planned for; 0 derives it from
   /// the strategy (n, or n^3 for sparse ids).
@@ -65,5 +71,99 @@ SolveOutcome run(const std::string& problem, const std::string& algo,
 SolveOutcome run_with_ids(const ProblemSpec& problem, const AlgoSpec& algo,
                           const Graph& g, const IdMap& ids,
                           std::uint64_t id_space, const RunOptions& opts = {});
+
+// ---- batched execution (the sweep surface) ---------------------------------
+//
+// A sweep is a *plan*: the cross-product of registered (problem, algorithm)
+// pairs and a menu of named-family instances, executed across the global
+// thread pool (support/thread_pool.hpp) with per-run wall-clock stats. The
+// CLI's `sweep` subcommand and every bench dispatch here instead of
+// hand-rolling their scenario loops.
+
+/// One instance of the graph menu, by family name (build::family).
+struct GraphSpec {
+  std::string family = "regular";
+  std::size_t nodes = 64;
+  int degree = 3;
+  std::uint64_t seed = 1;
+};
+
+/// What to execute: pairs × graphs, `repeat` timed runs each.
+struct ExecutionPlan {
+  /// (problem, algorithm) name pairs; empty = every registered pair.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  /// The instance menu; every pair runs on every entry it is compatible
+  /// with (incompatible combinations become `skipped` rows).
+  std::vector<GraphSpec> graphs;
+  /// Options of each run. Repeat r uses seed options.seed + r, so repeats
+  /// of randomized pairs sample different executions deterministically.
+  RunOptions options;
+  int repeat = 1;
+  /// Worker threads for this batch: 0 = keep exec_context() as is,
+  /// otherwise exec_context().threads is set (and restored) around the run.
+  int threads = 0;
+};
+
+/// One (pair, graph) cell of the executed plan.
+struct SweepRow {
+  std::string problem;
+  std::string algo;
+  GraphSpec graph;          // the requested spec ...
+  std::size_t nodes = 0;    // ... and the actual instance size
+  std::size_t edges = 0;
+  bool skipped = false;     // precondition rejected the pair on this graph
+  std::string note;         // skip reason / failure summary
+  bool ok = false;          // every repeat ran and verified
+  int rounds = 0;           // LOCAL rounds of the first repeat
+  Stats stats;              // counters of the first repeat
+  int repeat = 0;           // timed repeats executed
+  std::uint64_t wall_ns_min = 0;
+  std::uint64_t wall_ns_median = 0;
+};
+
+/// min/median wall-time convention shared by run_batch rows and the CLI's
+/// `run --repeat` (even sample counts average the two middle samples).
+struct WallStats {
+  std::uint64_t min_ns = 0;
+  std::uint64_t median_ns = 0;
+};
+[[nodiscard]] WallStats wall_stats(std::vector<std::uint64_t> samples_ns);
+
+/// The executed plan: rows in pair-major order (row index =
+/// pair_index * graphs.size() + graph_index), so call sites can rebuild the
+/// cross-product without searching.
+struct SweepOutcome {
+  std::vector<SweepRow> rows;
+  int threads = 1;              // resolved worker count the batch ran with
+  std::uint64_t wall_ns = 0;    // whole-batch wall clock
+
+  /// True iff every non-skipped row verified.
+  [[nodiscard]] bool all_ok() const;
+};
+
+/// Executes the plan. Graphs are built once and shared across pairs; runs
+/// are dispatched through the thread pool at single-run granularity. With
+/// exec_context().deterministic (default), the rows are bit-identical for
+/// every thread count. Throws RegistryError on unknown pair names.
+SweepOutcome run_batch(const ExecutionPlan& plan);
+
+/// Escape hatch for workloads that do not dispatch through the registry
+/// (gadget verifiers, padding hierarchies): a named body that fills its own
+/// SweepRow. run_scenarios times and parallelizes them with the same
+/// machinery as run_batch; the body is invoked once per repeat and must be
+/// safe to run concurrently with the other scenarios in the batch.
+struct ScenarioTask {
+  std::string label;
+  std::function<void(SweepRow&)> body;
+};
+
+SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
+                           int repeat = 1, int threads = 0);
+
+/// Renders rows as a JSON array (one object per non-skipped row: problem,
+/// algo, family, nodes, edges, rounds, ok, repeat, wall_ns_min,
+/// wall_ns_median, threads) — the machine-readable sweep format written by
+/// `padlock_cli sweep --json` and bench_micro's BENCH_micro.json.
+[[nodiscard]] std::string to_json(const SweepOutcome& outcome);
 
 }  // namespace padlock

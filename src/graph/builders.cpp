@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <queue>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -273,6 +275,75 @@ Graph random_bounded_degree(std::size_t n, int max_deg, double density,
     ++added;
   }
   return std::move(b).build();
+}
+
+std::vector<std::string> family_names() {
+  return {"bounded",    "cubic", "cubic-simple", "cycle", "high-girth",
+          "multigraph", "path",  "regular",      "torus", "tree"};
+}
+
+namespace {
+
+// Bumps n until it satisfies the d-regular builder preconditions: n > d and
+// an even degree sum.
+std::size_t regular_n(std::size_t n, int d) {
+  n = std::max<std::size_t>(n, static_cast<std::size_t>(d) + 1);
+  if ((n * static_cast<std::size_t>(d)) % 2 != 0) ++n;
+  return n;
+}
+
+}  // namespace
+
+Graph family(const std::string& name, std::size_t n, int degree,
+             std::uint64_t seed) {
+  PADLOCK_REQUIRE(n >= 1);
+  PADLOCK_REQUIRE(degree >= 1);
+  if (name == "path") return path(n);
+  if (name == "cycle") return cycle(n);
+  if (name == "tree") {
+    int height = 1;
+    while (((std::size_t{1} << height) - 1) < n) ++height;
+    return complete_binary_tree(height);
+  }
+  if (name == "torus") return torus(n / 8 > 0 ? n / 8 : 1, 8);
+  if (name == "regular" || name == "cubic-simple") {
+    const int d = name == "regular" ? degree : 3;
+    return random_regular_simple(regular_n(n, d), d, seed);
+  }
+  if (name == "multigraph" || name == "cubic") {
+    const int d = name == "multigraph" ? degree : 3;
+    return random_regular(regular_n(n, d), d, seed);
+  }
+  if (name == "high-girth") {
+    // Girth floor scales with n like the paper's lower-bound instances
+    // (2·log2(n)/3), never below the CLI's historical floor of 6.
+    const std::size_t nn = regular_n(n, degree);
+    int lg = 0;
+    while ((std::size_t{1} << (lg + 1)) <= nn) ++lg;
+    return high_girth_regular(nn, degree, std::max(6, 2 * lg / 3), seed);
+  }
+  if (name == "bounded") {
+    return random_bounded_degree_simple(n, degree, 0.6, seed);
+  }
+  std::string known;
+  for (const std::string& f : family_names()) known += " " + f;
+  throw std::invalid_argument("unknown graph family '" + name +
+                              "'; expected one of:" + known);
+}
+
+std::vector<std::size_t> size_ramp(std::size_t lo, std::size_t hi,
+                                   double factor) {
+  PADLOCK_REQUIRE(lo >= 1);
+  PADLOCK_REQUIRE(factor > 1.0);
+  std::vector<std::size_t> sizes;
+  double x = static_cast<double>(lo);
+  while (static_cast<std::size_t>(x) <= hi) {
+    const auto s = static_cast<std::size_t>(x);
+    if (sizes.empty() || s != sizes.back()) sizes.push_back(s);
+    x *= factor;
+  }
+  if (sizes.empty()) sizes.push_back(lo);
+  return sizes;
 }
 
 Graph random_bounded_degree_simple(std::size_t n, int max_deg, double density,

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -51,5 +53,39 @@ Graph random_bounded_degree(std::size_t n, int max_deg, double density,
 /// colorings to exist (Linial, MIS, edge coloring).
 Graph random_bounded_degree_simple(std::size_t n, int max_deg, double density,
                                    std::uint64_t seed);
+
+// ---- named instance families (the sweep menu) ------------------------------
+//
+// Batched sweeps (core/runner.hpp run_batch, padlock_cli sweep, the benches)
+// pick instances by *family name* instead of hard-wiring one builder per
+// call site. A family maps (n, degree, seed) to a concrete graph, fixing up
+// the builder preconditions (degree-sum parity, n > d) by bumping n — so
+// the produced instance may have slightly more nodes than requested; read
+// the size off the returned graph.
+
+/// All names `family` accepts, sorted:
+///   bounded      random simple graph with max degree `degree`
+///   cycle        n-cycle
+///   high-girth   `degree`-regular, girth >= max(6, 2·log2(n)/3) — the
+///                size-scaled sinkless-orientation hard instances
+///   multigraph   `degree`-regular configuration model (loops/parallels ok)
+///   path         n-path
+///   regular      `degree`-regular simple graph
+///   torus        toroidal grid, ~n nodes, 4-regular
+///   tree         complete binary tree with >= n nodes (2^h - 1)
+/// plus the legacy CLI aliases cubic (= multigraph, d=3) and cubic-simple
+/// (= regular, d=3).
+[[nodiscard]] std::vector<std::string> family_names();
+
+/// Builds one instance of the named family. Throws std::invalid_argument on
+/// an unknown name.
+Graph family(const std::string& name, std::size_t n, int degree,
+             std::uint64_t seed);
+
+/// Geometric size ramp for sweeps: lo, lo*factor, ... while <= hi (always
+/// contains lo; factor > 1).
+[[nodiscard]] std::vector<std::size_t> size_ramp(std::size_t lo,
+                                                 std::size_t hi,
+                                                 double factor = 2.0);
 
 }  // namespace padlock::build

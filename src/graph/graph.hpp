@@ -43,6 +43,36 @@ struct HalfEdge {
 
 class GraphBuilder;
 
+/// Zero-allocation view of one node's ports: a contiguous slice of the
+/// graph's CSR port slab, in port order. Valid as long as the Graph it was
+/// taken from is alive and unmoved (graphs are immutable, so there is no
+/// invalidation hazard beyond lifetime).
+class PortRange {
+ public:
+  using value_type = HalfEdge;
+  using iterator = const HalfEdge*;
+  using const_iterator = const HalfEdge*;
+
+  PortRange() = default;
+  PortRange(const HalfEdge* first, const HalfEdge* last)
+      : first_(first), last_(last) {}
+
+  [[nodiscard]] const_iterator begin() const { return first_; }
+  [[nodiscard]] const_iterator end() const { return last_; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(last_ - first_);
+  }
+  [[nodiscard]] bool empty() const { return first_ == last_; }
+  [[nodiscard]] const HalfEdge& operator[](std::size_t port) const {
+    PADLOCK_REQUIRE(port < size());
+    return first_[port];
+  }
+
+ private:
+  const HalfEdge* first_ = nullptr;
+  const HalfEdge* last_ = nullptr;
+};
+
 class Graph {
  public:
   Graph() = default;
@@ -110,12 +140,13 @@ class Graph {
     return HalfEdge{h.edge, 1 - h.side};
   }
 
-  /// All half-edges incident to v, in port order.
-  [[nodiscard]] std::vector<HalfEdge> incident(NodeId v) const {
-    std::vector<HalfEdge> out;
-    out.reserve(static_cast<std::size_t>(degree(v)));
-    for (int p = 0; p < degree(v); ++p) out.push_back(incidence(v, p));
-    return out;
+  /// All half-edges incident to v, in port order — a zero-allocation view
+  /// into the CSR port slab (hot-path safe; the old version materialized a
+  /// std::vector per call).
+  [[nodiscard]] PortRange incident(NodeId v) const {
+    PADLOCK_REQUIRE(v < num_nodes());
+    const HalfEdge* base = ports_.data();
+    return PortRange(base + first_port_[v], base + first_port_[v + 1]);
   }
 
  private:

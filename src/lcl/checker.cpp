@@ -1,24 +1,32 @@
 #include "lcl/checker.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "support/thread_pool.hpp"
+
 namespace padlock {
 
 void fill_node_env(const Graph& g, NodeId v, const NeLabeling& input,
                    const NeLabeling& output, NodeEnvStorage& storage) {
-  const int deg = g.degree(v);
-  storage.edge_in.resize(static_cast<std::size_t>(deg));
-  storage.edge_out.resize(static_cast<std::size_t>(deg));
-  storage.half_in.resize(static_cast<std::size_t>(deg));
-  storage.half_out.resize(static_cast<std::size_t>(deg));
-  for (int p = 0; p < deg; ++p) {
-    const HalfEdge h = g.incidence(v, p);
-    const auto i = static_cast<std::size_t>(p);
+  const PortRange ports = g.incident(v);
+  const std::size_t deg = ports.size();
+  storage.edge_in.resize(deg);
+  storage.edge_out.resize(deg);
+  storage.half_in.resize(deg);
+  storage.half_out.resize(deg);
+  std::size_t i = 0;
+  for (const HalfEdge h : ports) {
     storage.edge_in[i] = input.edge[h.edge];
     storage.edge_out[i] = output.edge[h.edge];
     storage.half_in[i] = input.half[h];
     storage.half_out[i] = output.half[h];
+    ++i;
   }
   storage.env = NodeEnv{
-      .degree = deg,
+      .degree = static_cast<int>(deg),
       .node_in = input.node[v],
       .node_out = output.node[v],
       .edge_in = storage.edge_in,
@@ -45,6 +53,72 @@ EdgeEnv make_edge_env(const Graph& g, EdgeId e, const NeLabeling& input,
   return env;
 }
 
+namespace {
+
+// Violations found by one index chunk. Each chunk keeps at most
+// `max_violations` sites (the global report can never use more than that
+// many from any one chunk) plus the full count, so the ordered merge below
+// reconstructs exactly what the serial scan would have produced.
+struct ChunkHits {
+  std::size_t chunk_begin = 0;
+  std::vector<Violation> sites;
+  std::size_t total = 0;
+};
+
+// Scans the constraint space [0, count) in parallel chunks; `test(i)`
+// returns the violation at index i or std::nullopt. Appends the merged,
+// index-ordered hits to `result`.
+template <typename TestFn>
+void scan_sites(std::size_t count, std::size_t max_violations,
+                CheckResult& result, const TestFn& test) {
+  // Relaxed early-exit budget: only consulted in non-deterministic mode,
+  // where the caller opted out of exact total_violations counting. Never
+  // below 1 — `ok` must stay exact even with a zero-length report list.
+  const bool exact = exec_context().deterministic;
+  const std::size_t stop_after = std::max<std::size_t>(1, max_violations);
+  std::atomic<std::size_t> found{0};
+  std::atomic<bool> stopped_early{false};
+
+  std::mutex mu;
+  std::vector<ChunkHits> chunks;
+  parallel_for(0, count, 0, [&](std::size_t begin, std::size_t end) {
+    ChunkHits hits;
+    hits.chunk_begin = begin;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!exact && found.load(std::memory_order_relaxed) >= stop_after) {
+        // Report list is already full; stop counting. Unscanned sites may
+        // hide further violations, so the result must read as truncated.
+        stopped_early.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (auto v = test(i)) {
+        ++hits.total;
+        found.fetch_add(1, std::memory_order_relaxed);
+        if (hits.sites.size() < max_violations) hits.sites.push_back(*v);
+      }
+    }
+    if (hits.total == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back(std::move(hits));
+  });
+  if (stopped_early.load()) result.truncated = true;
+
+  std::sort(chunks.begin(), chunks.end(),
+            [](const ChunkHits& a, const ChunkHits& b) {
+              return a.chunk_begin < b.chunk_begin;
+            });
+  for (const ChunkHits& hits : chunks) {
+    for (std::size_t j = 0; j < hits.total; ++j) {
+      // j >= sites.size() only once this chunk alone overflowed the cap, so
+      // the global list is already full and the dummy site is never stored.
+      const Violation v = j < hits.sites.size() ? hits.sites[j] : Violation{};
+      result.add_violation(v, max_violations);
+    }
+  }
+}
+
+}  // namespace
+
 CheckResult check_ne_lcl(const Graph& g, const NeLcl& lcl,
                          const NeLabeling& input, const NeLabeling& output,
                          std::size_t max_violations) {
@@ -52,20 +126,25 @@ CheckResult check_ne_lcl(const Graph& g, const NeLcl& lcl,
   PADLOCK_REQUIRE(output.node.size() == g.num_nodes());
 
   CheckResult result;
-  NodeEnvStorage storage;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    fill_node_env(g, v, input, output, storage);
-    if (!lcl.node_ok(storage.env)) {
-      result.add_violation({Violation::Site::kNode, v, kNoEdge},
-                           max_violations);
-    }
-  }
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (!lcl.edge_ok(make_edge_env(g, e, input, output))) {
-      result.add_violation({Violation::Site::kEdge, kNoNode, e},
-                           max_violations);
-    }
-  }
+  // Node constraint space. Per-chunk NodeEnvStorage scratch keeps the span
+  // buffers off the allocator's hot path without any sharing across chunks.
+  scan_sites(g.num_nodes(), max_violations, result,
+             [&](std::size_t i) -> std::optional<Violation> {
+               thread_local NodeEnvStorage storage;
+               const auto v = static_cast<NodeId>(i);
+               fill_node_env(g, v, input, output, storage);
+               if (lcl.node_ok(storage.env)) return std::nullopt;
+               return Violation{Violation::Site::kNode, v, kNoEdge};
+             });
+  // Edge constraint space.
+  scan_sites(g.num_edges(), max_violations, result,
+             [&](std::size_t i) -> std::optional<Violation> {
+               const auto e = static_cast<EdgeId>(i);
+               if (lcl.edge_ok(make_edge_env(g, e, input, output))) {
+                 return std::nullopt;
+               }
+               return Violation{Violation::Site::kEdge, kNoNode, e};
+             });
   return result;
 }
 

@@ -1,0 +1,22 @@
+#include "local/engine.hpp"
+
+#include "support/thread_pool.hpp"
+
+namespace padlock {
+
+RoundReport run_gather(const Graph& g, ViewMode mode, const GatherFn& fn) {
+  NodeMap<int> per_node(g, 0);
+  // Each chunk touches only its own nodes' slots of per_node, and each node
+  // gets a fresh LocalView, so the result cannot depend on the schedule.
+  parallel_for(0, g.num_nodes(), 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      const auto node = static_cast<NodeId>(v);
+      LocalView view(g, node, mode);
+      fn(view, node);
+      per_node[node] = view.radius();
+    }
+  });
+  return RoundReport::from(std::move(per_node));
+}
+
+}  // namespace padlock

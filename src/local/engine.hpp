@@ -6,6 +6,15 @@
 // caller-owned label maps. The engine does not interpret outputs; it only
 // owns round accounting.
 //
+// Execution is thread-pooled (support/thread_pool.hpp): nodes are
+// partitioned into chunks and gathered concurrently, each node with its own
+// LocalView scratch. Because `fn` may only write per-node slots of
+// caller-owned maps, the parallel run is bit-identical to the serial one;
+// with exec_context().threads == 1 (the default) the loop *is* the old
+// serial loop. Gather callables must therefore be safe to invoke
+// concurrently for distinct nodes — which every radius-bounded LOCAL rule
+// is by construction (shared state would be cheating the model anyway).
+//
 // Batch algorithms (e.g. the deterministic sinkless-orientation solver) that
 // compute all outputs with global data structures report per-node radii via
 // `RoundReport` directly; tests cross-check them against a per-node gather
@@ -13,6 +22,7 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -39,18 +49,15 @@ struct RoundReport {
   static RoundReport uniform(const Graph& g, int rounds) {
     return RoundReport{NodeMap<int>(g, rounds), rounds};
   }
+
+  friend bool operator==(const RoundReport&, const RoundReport&) = default;
 };
 
-/// Runs `fn` once per node with a fresh LocalView and collects radii.
-template <typename Fn>
-RoundReport run_gather(const Graph& g, ViewMode mode, Fn&& fn) {
-  NodeMap<int> per_node(g, 0);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    LocalView view(g, v, mode);
-    fn(view, v);
-    per_node[v] = view.radius();
-  }
-  return RoundReport::from(std::move(per_node));
-}
+/// A per-node gather rule (see file comment for the contract).
+using GatherFn = std::function<void(LocalView&, NodeId)>;
+
+/// Runs `fn` once per node with a fresh LocalView and collects radii,
+/// dispatching node chunks across the global thread pool.
+RoundReport run_gather(const Graph& g, ViewMode mode, const GatherFn& fn);
 
 }  // namespace padlock

@@ -48,18 +48,18 @@ int run_message_rounds(const Graph& g, Alg& alg, int max_rounds) {
     PADLOCK_REQUIRE(round < max_rounds);
     ++round;
     // Send phase.
-    for (NodeId v = 0; v < g.num_nodes(); ++v)
-      for (int p = 0; p < g.degree(v); ++p)
-        outbox[half_edge_index(g.incidence(v, p))] = alg.send(v, p, round);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      int p = 0;
+      for (const HalfEdge h : g.incident(v))
+        outbox[half_edge_index(h)] = alg.send(v, p++, round);
+    }
     // Deliver + step phase.
     std::vector<std::optional<Message>> inbox;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       inbox.assign(static_cast<std::size_t>(g.degree(v)), std::nullopt);
-      for (int p = 0; p < g.degree(v); ++p) {
-        const HalfEdge h = g.incidence(v, p);
-        inbox[static_cast<std::size_t>(p)] =
-            outbox[half_edge_index(Graph::opposite(h))];
-      }
+      std::size_t p = 0;
+      for (const HalfEdge h : g.incident(v))
+        inbox[p++] = outbox[half_edge_index(Graph::opposite(h))];
       alg.step(v, std::span<const std::optional<Message>>(inbox), round);
     }
   }

@@ -1,0 +1,154 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+namespace padlock {
+
+namespace {
+
+// Set for the lifetime of a worker thread; lets nested for_range calls run
+// inline instead of waiting on the (possibly fully occupied) pool.
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+ExecContext& exec_context() {
+  static ExecContext ctx;
+  return ctx;
+}
+
+void set_threads_from_args(int argc, char** argv, int fallback) {
+  exec_context().threads = fallback;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads")
+      exec_context().threads = std::atoi(argv[i + 1]);
+  }
+}
+
+int resolved_threads() {
+  const int configured = exec_context().threads;
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+struct ThreadPool::Queue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> tasks;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(int threads) : queue_(std::make_unique<Queue>()) {
+  if (threads <= 1) return;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_->mu);
+    queue_->stop = true;
+  }
+  queue_->cv.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_->mu);
+      queue_->cv.wait(lock,
+                      [this] { return queue_->stop || !queue_->tasks.empty(); });
+      if (queue_->tasks.empty()) return;  // stop requested and drained
+      task = std::move(queue_->tasks.front());
+      queue_->tasks.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::for_range(std::size_t begin, std::size_t end,
+                           std::size_t grain, const RangeFn& fn) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(
+        1, range / (4 * std::max<std::size_t>(1, workers_.size())));
+  }
+  if (workers_.empty() || on_worker_thread() || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+    std::exception_ptr error;
+  };
+  auto join = std::make_shared<Join>();
+  const std::size_t chunks = (range + grain - 1) / grain;
+  join->pending = chunks;
+
+  {
+    std::lock_guard<std::mutex> lock(queue_->mu);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t b = begin + c * grain;
+      const std::size_t e = std::min(end, b + grain);
+      queue_->tasks.emplace_back([join, &fn, b, e] {
+        try {
+          fn(b, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> jl(join->mu);
+          if (!join->error) join->error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> jl(join->mu);
+        if (--join->pending == 0) join->cv.notify_all();
+      });
+    }
+  }
+  queue_->cv.notify_all();
+
+  std::unique_lock<std::mutex> lock(join->mu);
+  join->cv.wait(lock, [&join] { return join->pending == 0; });
+  if (join->error) std::rethrow_exception(join->error);
+}
+
+ThreadPool& global_pool() {
+  static std::mutex mu;
+  static std::unique_ptr<ThreadPool> pool;
+  static int pool_threads = -1;
+  std::lock_guard<std::mutex> lock(mu);
+  const int want = resolved_threads();
+  // Never resize from inside a worker: destroying the pool would join the
+  // calling thread itself. Nested parallel_for runs inline anyway, so the
+  // stale size is irrelevant to the nested caller.
+  if (pool && (pool_threads == want || ThreadPool::on_worker_thread()))
+    return *pool;
+  pool.reset();  // join the old workers before spawning the new set
+  pool = std::make_unique<ThreadPool>(want);
+  pool_threads = want;
+  return *pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ThreadPool::RangeFn& fn) {
+  global_pool().for_range(begin, end, grain, fn);
+}
+
+}  // namespace padlock

@@ -1,0 +1,107 @@
+// Thread-pooled execution substrate for the batched runner stack.
+//
+// padlock's parallelism is deliberately simple: per-node gather algorithms
+// and per-site constraint checks are embarrassingly parallel (every worker
+// reads the immutable Graph and writes disjoint slots of caller-owned label
+// stores), and batched sweeps parallelize across independent runs. A plain
+// shared-queue pool with static range chunking covers all of it — no work
+// stealing, no futures — while keeping results bit-identical to the serial
+// path: chunks partition the index range deterministically and anything
+// order-sensitive (violation lists, sweep rows) is merged in chunk order.
+//
+// The process-wide ExecContext carries the knobs every layer consults:
+//
+//   exec_context().threads        worker count (0 = hardware concurrency,
+//                                 1 = serial, the default)
+//   exec_context().seed           base seed for seeded sweeps
+//   exec_context().deterministic  true (default): results are bit-identical
+//                                 to a serial run. false: layers may trade
+//                                 exactness for speed (e.g. the ne-LCL
+//                                 checker stops counting violations once
+//                                 the report list is full).
+//
+// Mutate exec_context() only from the coordinating thread between batch
+// operations (the CLI/bench flag-parsing moment); the global pool is
+// re-sized lazily on the next parallel_for.
+//
+// Nesting is safe by construction: a parallel_for issued from inside a pool
+// worker runs inline on that worker (so an outer batch of runs can freely
+// call the parallel checker without deadlocking the pool).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace padlock {
+
+/// Process-wide execution knobs (see file comment).
+struct ExecContext {
+  int threads = 1;           // 0 = hardware concurrency
+  std::uint64_t seed = 1;    // base seed: the default RunOptions.seed
+  bool deterministic = true; // bit-identical-to-serial guarantee
+};
+
+/// The mutable global context consulted by run_gather, check_ne_lcl and
+/// run_batch.
+[[nodiscard]] ExecContext& exec_context();
+
+/// Applies the conventional `--threads N` flag (shared by the benches) to
+/// exec_context().threads; a missing or valueless flag leaves `fallback`
+/// (0 = hardware concurrency).
+void set_threads_from_args(int argc, char** argv, int fallback = 0);
+
+/// exec_context().threads with 0 resolved to the hardware concurrency
+/// (and that resolved to >= 1).
+[[nodiscard]] int resolved_threads();
+
+/// Fixed-size shared-queue thread pool (no work stealing; see file comment
+/// for why that is enough here).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; threads <= 1 spawns none (for_range then
+  /// runs serially inline).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Chunk callback: processes the half-open index range [begin, end).
+  using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Splits [begin, end) into chunks of ~`grain` indices (grain == 0 picks
+  /// range / (4 * workers), at least 1), runs them across the workers, and
+  /// blocks until all complete. The first exception thrown by any chunk is
+  /// rethrown here after the whole range has settled. Runs inline when the
+  /// pool has no workers, the range fits one grain, or the caller already
+  /// is a pool worker (nested use).
+  void for_range(std::size_t begin, std::size_t end, std::size_t grain,
+                 const RangeFn& fn);
+
+  /// True iff the calling thread is a worker of any ThreadPool.
+  [[nodiscard]] static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  struct Queue;  // shared task queue state (mutex/cv/deque)
+  std::unique_ptr<Queue> queue_;
+  std::vector<std::thread> workers_;
+};
+
+/// The lazily-built process pool, re-sized to resolved_threads() whenever
+/// the configured thread count changed since the last call.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// for_range through the global pool — the one parallel primitive the rest
+/// of the library uses.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ThreadPool::RangeFn& fn);
+
+}  // namespace padlock

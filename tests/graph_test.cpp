@@ -106,8 +106,19 @@ TEST(Graph, IncidentListsAllHalfEdges) {
   b.add_edge(0, 1);
   b.add_edge(0, 0);
   Graph g = std::move(b).build();
-  const auto inc = g.incident(0);
+  const PortRange inc = g.incident(0);
   EXPECT_EQ(inc.size(), 3u);
+  EXPECT_FALSE(inc.empty());
+  // The view is the CSR slab itself, in port order: iteration, indexing,
+  // and incidence() must agree.
+  int port = 0;
+  for (const HalfEdge h : inc) {
+    EXPECT_EQ(h, g.incidence(0, port));
+    EXPECT_EQ(h, inc[static_cast<std::size_t>(port)]);
+    ++port;
+  }
+  EXPECT_EQ(port, g.degree(0));
+  EXPECT_TRUE(g.incident(1).size() == 1 && g.incident(1)[0].side == 1);
 }
 
 TEST(Labels, NodeMapIndexing) {

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace padlock {
+namespace {
+
+// Restores exec_context() after each test so the global stays at its
+// serial default for the rest of the suite.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = exec_context(); }
+  void TearDown() override { exec_context() = saved_; }
+
+ private:
+  ExecContext saved_;
+};
+
+TEST_F(ThreadPoolTest, ForRangeCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.for_range(0, hits.size(), 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST_F(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.for_range(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  pool.for_range(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ThreadPoolTest, GrainLargerThanRangeRunsOneInlineChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::size_t seen_b = 99, seen_e = 0;
+  pool.for_range(2, 10, 100, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    seen_b = b;
+    seen_e = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_b, 2u);
+  EXPECT_EQ(seen_e, 10u);
+}
+
+TEST_F(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_range(0, 64, 1,
+                     [](std::size_t b, std::size_t) {
+                       if (b == 13) throw std::runtime_error("chunk 13");
+                     }),
+      std::runtime_error);
+  // The pool survives a throwing batch and stays usable.
+  std::atomic<int> sum{0};
+  pool.for_range(0, 10, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST_F(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0);  // no workers: for_range is the serial loop
+  int calls = 0;
+  pool.for_range(0, 100, 0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ThreadPoolTest, NestedForRangeRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.for_range(0, 8, 1, [&](std::size_t, std::size_t) {
+    // A nested call from a worker must not wait on the occupied pool.
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    pool.for_range(0, 4, 1, [&](std::size_t b, std::size_t e) {
+      inner_total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST_F(ThreadPoolTest, ParallelForHonorsExecContextThreads) {
+  exec_context().threads = 3;
+  EXPECT_EQ(resolved_threads(), 3);
+  EXPECT_EQ(global_pool().size(), 3);
+  std::atomic<int> sum{0};
+  parallel_for(0, 100, 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+
+  exec_context().threads = 1;
+  EXPECT_EQ(global_pool().size(), 0);  // re-sized lazily, serial again
+}
+
+TEST_F(ThreadPoolTest, ZeroThreadsResolvesToHardware) {
+  exec_context().threads = 0;
+  EXPECT_GE(resolved_threads(), 1);
+}
+
+}  // namespace
+}  // namespace padlock
