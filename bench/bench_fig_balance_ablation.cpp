@@ -94,5 +94,5 @@ int main(int argc, char** argv) {
       "places its lower-bound instances (f(x) = sqrt(x)). Additive O(1)\n"
       "terms in the base solver shift the finite-size peak slightly left\n"
       "of beta = 0.5.\n");
-  return 0;
+  return finish_bench(out, "fig-balance-ablation");
 }

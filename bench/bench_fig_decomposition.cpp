@@ -117,5 +117,5 @@ int main(int argc, char** argv) {
       "band at every hierarchy level — padding shifts both complexities by\n"
       "the same factor, it cannot widen the gap (the paper's open "
       "question).\n");
-  return 0;
+  return finish_bench(out, "fig-decomposition");
 }

@@ -139,5 +139,5 @@ int main(int argc, char** argv) {
       "rounds blow up with n — the locality of deterministic decomposition\n"
       "(ND(n)) is the bottleneck, exactly the paper's open question. AGLP\n"
       "beta stays under 2 log2 n at O(log n) rounds.\n");
-  return 0;
+  return finish_bench(out, "fig-derandomization");
 }

@@ -96,5 +96,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: V rounds grow linearly in the height, i.e.\n"
       "O(log n) in the gadget size; every fault detected, every proof "
       "valid.\n");
-  return 0;
+  return finish_bench(out, "fig-gadget-verify");
 }

@@ -86,5 +86,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: raw deterministic rounds jump by roughly a log2(N)\n"
       "factor per level; the normalized column is comparable across sizes\n"
       "within one level; D/R stays the same Θ(log/loglog) at every level.\n");
-  return 0;
+  return finish_bench(out, "fig-hierarchy");
 }

@@ -139,5 +139,5 @@ int main(int argc, char** argv) {
       "round ratio tracks √N / log N (last column). Within each family the\n"
       "deterministic column stays above the randomized one by the same\n"
       "Θ(log/loglog) leaf gap.\n");
-  return 0;
+  return finish_bench(out, "fig-path-padding");
 }

@@ -81,5 +81,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: both columns grow with N (the shared Θ(log N)\n"
       "stretch factor), deterministic faster; the measured D/R ratio climbs\n"
       "with N, tracking the predicted log N / log log N (last column).\n");
-  return 0;
+  return finish_bench(out, "fig-pi2-separation");
 }

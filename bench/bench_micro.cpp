@@ -65,7 +65,8 @@ std::vector<ScenarioTask> substrate_scenarios() {
                          const auto chk =
                              check_ne_lcl(*g, lcl, input, *solution);
                          row.nodes = g->num_nodes();
-                         row.ok = chk.ok;
+                         row.status = chk.ok ? RowStatus::kOk
+                                             : RowStatus::kVerifyFailed;
                        }});
     }
   }
@@ -76,7 +77,8 @@ std::vector<ScenarioTask> substrate_scenarios() {
                        const auto res =
                            run_gadget_verifier(inst->graph, inst->labels);
                        row.nodes = inst->graph.num_nodes();
-                       row.ok = !res.found_error;
+                       row.status = res.found_error ? RowStatus::kVerifyFailed
+                                                    : RowStatus::kOk;
                        row.rounds = res.report.rounds;
                      }});
   }
@@ -87,7 +89,8 @@ std::vector<ScenarioTask> substrate_scenarios() {
                        const auto res =
                            run_path_verifier_ne(inst->graph, inst->labels);
                        row.nodes = inst->graph.num_nodes();
-                       row.ok = !res.found_error;
+                       row.status = res.found_error ? RowStatus::kVerifyFailed
+                                                    : RowStatus::kOk;
                      }});
   }
   for (const std::size_t n : {std::size_t{64}, std::size_t{256}}) {
@@ -133,14 +136,14 @@ void print_rows(const char* title, const SweepOutcome& outcome) {
   std::printf("\n%s (threads=%d)\n", title, outcome.threads);
   Table t({"workload", "n", "rounds", "ok", "wall min (us)", "wall med (us)"});
   for (const SweepRow& row : outcome.rows) {
-    if (row.skipped) continue;
+    if (row.skipped()) continue;
     const std::string name =
         row.algo.empty() ? row.problem : row.problem + "/" + row.algo;
     t.add_row({name + (row.graph.family.empty()
                            ? ""
                            : " @" + row.graph.family),
                std::to_string(row.nodes), std::to_string(row.rounds),
-               row.ok ? "yes" : "NO", fmt(row.wall_ns_min / 1e3, 1),
+               status_cell(row), fmt(row.wall_ns_min / 1e3, 1),
                fmt(row.wall_ns_median / 1e3, 1)});
   }
   t.print();

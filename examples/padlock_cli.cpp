@@ -223,17 +223,15 @@ int cmd_sweep(const Args& a) {
   Table t({"problem/algorithm", "family", "n", "rounds", "ok",
            "wall min (us)", "wall med (us)"});
   for (const SweepRow& row : outcome.rows) {
-    if (row.skipped) {
-      t.add_row({row.problem + "/" + row.algo, row.graph.family,
-                 std::to_string(row.nodes), "-", "skip: " + row.note, "-",
-                 "-"});
-      continue;
-    }
+    // Skipped and poisoned rows never ran, so their numeric columns would
+    // be noise; every row still prints with its status attributed.
+    const bool ran =
+        row.status == RowStatus::kOk || row.status == RowStatus::kVerifyFailed;
     t.add_row({row.problem + "/" + row.algo, row.graph.family,
-               std::to_string(row.nodes), std::to_string(row.rounds),
-               row.ok ? "yes" : "NO " + row.note,
-               fmt(row.wall_ns_min / 1e3, 1),
-               fmt(row.wall_ns_median / 1e3, 1)});
+               std::to_string(row.nodes),
+               ran ? std::to_string(row.rounds) : "-", status_cell(row),
+               ran ? fmt(row.wall_ns_min / 1e3, 1) : "-",
+               ran ? fmt(row.wall_ns_median / 1e3, 1) : "-"});
   }
   t.print();
   std::printf("%zu rows in %.1f ms (threads=%d)%s\n", outcome.rows.size(),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "graph/builders.hpp"
@@ -163,26 +164,125 @@ WallStats wall_stats(std::vector<std::uint64_t> samples_ns) {
               : (samples_ns[mid - 1] + samples_ns[mid]) / 2};
 }
 
+std::string_view row_status_name(RowStatus s) {
+  switch (s) {
+    case RowStatus::kOk:
+      return "ok";
+    case RowStatus::kSkipped:
+      return "skipped";
+    case RowStatus::kVerifyFailed:
+      return "verify_failed";
+    case RowStatus::kError:
+      return "error";
+  }
+  PADLOCK_REQUIRE(false);
+}
+
+std::string status_cell(const SweepRow& row) {
+  switch (row.status) {
+    case RowStatus::kOk:
+      return "yes";
+    case RowStatus::kSkipped:
+      return "skip: " + row.note;
+    case RowStatus::kVerifyFailed:
+      return "NO " + row.note;
+    case RowStatus::kError:
+      return "ERR " + row.error;
+  }
+  PADLOCK_REQUIRE(false);
+}
+
 bool SweepOutcome::all_ok() const {
   for (const SweepRow& row : rows) {
-    if (!row.skipped && !row.ok) return false;
+    if (row.failed()) return false;
   }
   return true;
 }
 
+std::size_t report_failed_rows(const SweepOutcome& outcome,
+                               const std::string& label) {
+  std::size_t failures = 0;
+  for (const SweepRow& row : outcome.rows) {
+    if (!row.failed()) continue;
+    ++failures;
+    std::fprintf(stderr, "%s: %s%s%s @%s n=%zu: %s\n", label.c_str(),
+                 row.problem.c_str(), row.algo.empty() ? "" : "/",
+                 row.algo.c_str(), row.graph.family.c_str(), row.graph.nodes,
+                 status_cell(row).c_str());
+  }
+  return failures;
+}
+
+int finish_bench(const SweepOutcome& outcome, const std::string& label) {
+  const std::size_t failures = report_failed_rows(outcome, label);
+  if (failures != 0) {
+    std::printf(
+        "\nWARNING: %zu poisoned scenario row(s); table cells fed by failed\n"
+        "scenarios are invalid (details on stderr).\n",
+        failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+namespace {
+
+// A (problem, algorithm) name pair resolved against the registry, or the
+// reason resolution failed — an unknown/mismatched pair poisons its rows
+// instead of aborting the batch.
+struct ResolvedPair {
+  const ProblemSpec* problem = nullptr;
+  const AlgoSpec* algo = nullptr;
+  std::string problem_name;
+  std::string algo_name;
+  std::string error;  // non-empty: resolution failed
+};
+
+// Backstop for failures that escape the per-row capture (an allocation
+// failure in the bookkeeping itself): any row of a faulted chunk that was
+// never completed inherits the chunk's error instead of reading as a clean
+// default-constructed result. Completed rows (repeat > 0, or already in a
+// terminal skipped/error state) keep their results.
+void stamp_chunk_faults(const std::vector<ThreadPool::ChunkFault>& faults,
+                        std::vector<SweepRow>& rows) {
+  for (const ThreadPool::ChunkFault& fault : faults) {
+    const std::size_t end = std::min(fault.end, rows.size());
+    for (std::size_t i = fault.begin; i < end; ++i) {
+      SweepRow& row = rows[i];
+      if (row.status == RowStatus::kOk && row.repeat == 0 &&
+          row.error.empty()) {
+        row.status = RowStatus::kError;
+        row.error = fault.error;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 SweepOutcome run_batch(const ExecutionPlan& plan) {
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
-  // Resolve the pair list up front so name errors surface before any work.
-  std::vector<std::pair<const ProblemSpec*, const AlgoSpec*>> pairs;
+  PADLOCK_REQUIRE(plan.repeat >= 1);
+
+  // Resolve the pair list up front; a bad name is attributed to that pair's
+  // rows once the cross-product is laid out.
+  std::vector<ResolvedPair> pairs;
   if (plan.pairs.empty()) {
-    pairs = registry.pairs();
+    for (const auto& [p, a] : registry.pairs()) {
+      pairs.push_back({p, a, p->name, a->name, {}});
+    }
   } else {
     pairs.reserve(plan.pairs.size());
     for (const auto& [p, a] : plan.pairs) {
-      pairs.emplace_back(&registry.problem(p), &registry.algo(p, a));
+      ResolvedPair rp{nullptr, nullptr, p, a, {}};
+      try {
+        rp.problem = &registry.problem(p);
+        rp.algo = &registry.algo(p, a);
+      } catch (...) {
+        rp.error = describe_current_exception();
+      }
+      pairs.push_back(std::move(rp));
     }
   }
-  PADLOCK_REQUIRE(plan.repeat >= 1);
 
   ThreadsGuard guard(plan.threads);
   SweepOutcome outcome;
@@ -190,66 +290,104 @@ SweepOutcome run_batch(const ExecutionPlan& plan) {
   const auto batch_t0 = Clock::now();
 
   // Build the instance menu once, in parallel; every pair shares the same
-  // immutable graphs.
+  // immutable graphs. A family that fails to build (unknown name, invalid
+  // parameters, bad_alloc) poisons only the rows that needed it.
   std::vector<Graph> graphs(plan.graphs.size());
+  std::vector<std::string> graph_errors(plan.graphs.size());
   parallel_for(0, plan.graphs.size(), 1, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       const GraphSpec& spec = plan.graphs[i];
-      graphs[i] = build::family(spec.family, spec.nodes, spec.degree,
-                                spec.seed);
+      try {
+        graphs[i] = build::family(spec.family, spec.nodes, spec.degree,
+                                  spec.seed);
+      } catch (...) {
+        graph_errors[i] = describe_current_exception();
+      }
     }
   });
 
   // One row per (pair, graph) cell, pair-major; each cell is an independent
   // pool task, so the whole cross-product × repeat sweep saturates the
-  // workers while the rows stay in deterministic order.
+  // workers while the rows stay in deterministic order. Each row's work is
+  // structurally captured: whatever it throws lands in that row alone.
   outcome.rows.resize(pairs.size() * graphs.size());
-  parallel_for(0, outcome.rows.size(), 1, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
-      const auto& [problem, algo] = pairs[i / graphs.size()];
-      const std::size_t gi = i % graphs.size();
-      const Graph& g = graphs[gi];
+  const auto faults = parallel_for_capture(
+      0, outcome.rows.size(), 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const ResolvedPair& pair = pairs[i / graphs.size()];
+          const std::size_t gi = i % graphs.size();
 
-      SweepRow& row = outcome.rows[i];
-      row.problem = problem->name;
-      row.algo = algo->name;
-      row.graph = plan.graphs[gi];
-      row.nodes = g.num_nodes();
-      row.edges = g.num_edges();
+          SweepRow& row = outcome.rows[i];
+          row.problem = pair.problem_name;
+          row.algo = pair.algo_name;
+          row.graph = plan.graphs[gi];
+          // Requested size until an instance is built, so a poisoned row
+          // still says which cell of a multi-size sweep it was.
+          row.nodes = plan.graphs[gi].nodes;
 
-      if (algo->precondition && !algo->precondition(g)) {
-        row.skipped = true;
-        row.note = algo->requires_text.empty() ? "precondition failed"
-                                               : algo->requires_text;
-        continue;
-      }
-
-      row.ok = true;
-      std::vector<std::uint64_t> times;
-      times.reserve(static_cast<std::size_t>(plan.repeat));
-      for (int r = 0; r < plan.repeat; ++r) {
-        RunOptions opts = plan.options;
-        opts.seed += static_cast<std::uint64_t>(r);
-        const auto t0 = Clock::now();
-        const SolveOutcome solved = run(*problem, *algo, g, opts);
-        times.push_back(elapsed_ns(t0));
-        if (r == 0) {
-          row.rounds = solved.rounds.rounds;
-          row.stats = solved.stats;
-        }
-        if (!solved.ok()) {
-          row.ok = false;
-          if (row.note.empty()) {
-            row.note = "verification failed (seed " +
-                       std::to_string(opts.seed) + ", " +
-                       std::to_string(solved.verification.total_violations) +
-                       " sites)";
+          if (!pair.error.empty()) {
+            row.status = RowStatus::kError;
+            row.error = pair.error;
+            continue;
           }
+          if (!graph_errors[gi].empty()) {
+            row.status = RowStatus::kError;
+            row.error = "graph menu: " + graph_errors[gi];
+            continue;
+          }
+          const Graph& g = graphs[gi];
+          row.nodes = g.num_nodes();
+          row.edges = g.num_edges();
+
+          std::vector<std::uint64_t> times;
+          times.reserve(static_cast<std::size_t>(plan.repeat));
+          try {
+            if (pair.algo->precondition && !pair.algo->precondition(g)) {
+              row.status = RowStatus::kSkipped;
+              row.note = pair.algo->requires_text.empty()
+                             ? "precondition failed"
+                             : pair.algo->requires_text;
+              continue;
+            }
+            bool reported = false;  // rounds/stats taken yet?
+            for (int r = 0; r < plan.repeat; ++r) {
+              RunOptions opts = plan.options;
+              opts.seed += static_cast<std::uint64_t>(r);
+              const auto t0 = Clock::now();
+              const SolveOutcome solved = run(*pair.problem, *pair.algo, g,
+                                              opts);
+              times.push_back(elapsed_ns(t0));
+              // rounds/stats come from the first *verified* repeat, so a
+              // failed repeat 0 cannot masquerade as the reported result.
+              if (!reported && solved.ok()) {
+                row.rounds = solved.rounds.rounds;
+                row.stats = solved.stats;
+                reported = true;
+              }
+              if (!solved.ok()) {
+                row.status = RowStatus::kVerifyFailed;
+                if (row.note.empty()) {
+                  row.note =
+                      "verification failed (seed " + std::to_string(opts.seed) +
+                      ", " +
+                      std::to_string(solved.verification.total_violations) +
+                      " sites)";
+                }
+              }
+            }
+            if (!reported && row.status == RowStatus::kVerifyFailed) {
+              row.note += "; rounds/stats zeroed (no verified repeat)";
+            }
+          } catch (...) {
+            // Completed repeats keep their timings; the remaining ones are
+            // abandoned (a deterministic throw would just repeat itself).
+            row.status = RowStatus::kError;
+            row.error = describe_current_exception();
+          }
+          fill_wall_stats(std::move(times), row);
         }
-      }
-      fill_wall_stats(std::move(times), row);
-    }
-  });
+      });
+  stamp_chunk_faults(faults, outcome.rows);
 
   outcome.wall_ns = elapsed_ns(batch_t0);
   return outcome;
@@ -264,41 +402,96 @@ SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
   const auto batch_t0 = Clock::now();
 
   outcome.rows.resize(scenarios.size());
-  parallel_for(0, scenarios.size(), 1, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
-      SweepRow& row = outcome.rows[i];
-      row.problem = scenarios[i].label;
-      row.graph.family.clear();  // no instance menu behind a scenario
-      row.ok = true;
-      std::vector<std::uint64_t> times;
-      times.reserve(static_cast<std::size_t>(repeat));
-      for (int r = 0; r < repeat; ++r) {
-        const auto t0 = Clock::now();
-        scenarios[i].body(row);
-        times.push_back(elapsed_ns(t0));
-      }
-      fill_wall_stats(std::move(times), row);
-    }
-  });
+  const auto faults = parallel_for_capture(
+      0, scenarios.size(), 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          SweepRow& row = outcome.rows[i];
+          row.problem = scenarios[i].label;
+          row.graph.family.clear();  // no instance menu behind a scenario
+          std::vector<std::uint64_t> times;
+          times.reserve(static_cast<std::size_t>(repeat));
+          try {
+            for (int r = 0; r < repeat; ++r) {
+              const auto t0 = Clock::now();
+              scenarios[i].body(row);
+              times.push_back(elapsed_ns(t0));
+            }
+          } catch (...) {
+            // A throwing body poisons its own row only; the other
+            // scenarios of the batch are untouched.
+            row.status = RowStatus::kError;
+            row.error = describe_current_exception();
+          }
+          fill_wall_stats(std::move(times), row);
+        }
+      });
+  stamp_chunk_faults(faults, outcome.rows);
 
   outcome.wall_ns = elapsed_ns(batch_t0);
   return outcome;
 }
+
+namespace {
+
+// Strict JSON string escaping: quotes, backslashes, and all control
+// characters (an exception message can contain any of them).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string to_json(const SweepOutcome& outcome) {
   std::ostringstream out;
   out << "[";
   bool first = true;
   for (const SweepRow& row : outcome.rows) {
-    if (row.skipped) continue;
     if (!first) out << ",";
     first = false;
-    out << "\n  {\"problem\": \"" << row.problem << "\", \"algo\": \""
-        << row.algo << "\", \"family\": \"" << row.graph.family
-        << "\", \"nodes\": " << row.nodes << ", \"edges\": " << row.edges
-        << ", \"rounds\": " << row.rounds
-        << ", \"ok\": " << (row.ok ? "true" : "false")
-        << ", \"repeat\": " << row.repeat
+    out << "\n  {\"problem\": \"" << json_escape(row.problem)
+        << "\", \"algo\": \"" << json_escape(row.algo) << "\", \"family\": \""
+        << json_escape(row.graph.family) << "\", \"nodes\": " << row.nodes
+        << ", \"edges\": " << row.edges << ", \"rounds\": " << row.rounds
+        << ", \"status\": \"" << row_status_name(row.status)
+        << "\", \"ok\": " << (row.ok() ? "true" : "false")
+        << ", \"skipped\": " << (row.skipped() ? "true" : "false");
+    if (!row.note.empty()) {
+      out << ", \"note\": \"" << json_escape(row.note) << "\"";
+    }
+    if (!row.error.empty()) {
+      out << ", \"error\": \"" << json_escape(row.error) << "\"";
+    }
+    out << ", \"repeat\": " << row.repeat
         << ", \"wall_ns_min\": " << row.wall_ns_min
         << ", \"wall_ns_median\": " << row.wall_ns_median
         << ", \"threads\": " << outcome.threads << "}";

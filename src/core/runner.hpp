@@ -104,22 +104,46 @@ struct ExecutionPlan {
   int threads = 0;
 };
 
+/// Row-scoped outcome taxonomy: failure is a first-class result, never a
+/// batch abort. Every cell of a sweep lands in exactly one state.
+enum class RowStatus {
+  kOk,            // every repeat ran and verified
+  kSkipped,       // precondition rejected the pair on this graph (not a
+                  // failure: the plan's cross-product was simply too wide)
+  kVerifyFailed,  // the run completed but the checker rejected the output
+  kError,         // the row's work threw (RegistryError, ContractViolation,
+                  // graph-menu build failure, bad_alloc, ...)
+};
+
+/// "ok" | "skipped" | "verify_failed" | "error" (the JSON `status` values).
+[[nodiscard]] std::string_view row_status_name(RowStatus s);
+
 /// One (pair, graph) cell of the executed plan.
 struct SweepRow {
   std::string problem;
   std::string algo;
   GraphSpec graph;          // the requested spec ...
-  std::size_t nodes = 0;    // ... and the actual instance size
+  std::size_t nodes = 0;    // ... and the actual instance size (the
+                            // requested size on rows that never built one)
   std::size_t edges = 0;
-  bool skipped = false;     // precondition rejected the pair on this graph
-  std::string note;         // skip reason / failure summary
-  bool ok = false;          // every repeat ran and verified
-  int rounds = 0;           // LOCAL rounds of the first repeat
-  Stats stats;              // counters of the first repeat
+  RowStatus status = RowStatus::kOk;
+  std::string note;         // skip reason / verification-failure summary
+  std::string error;        // exception type + message (kError rows only)
+  int rounds = 0;           // LOCAL rounds of the first verified repeat
+  Stats stats;              // counters of the first verified repeat
   int repeat = 0;           // timed repeats executed
   std::uint64_t wall_ns_min = 0;
   std::uint64_t wall_ns_median = 0;
+
+  [[nodiscard]] bool ok() const { return status == RowStatus::kOk; }
+  [[nodiscard]] bool skipped() const { return status == RowStatus::kSkipped; }
+  /// True for the states that should fail a batch (verify_failed / error).
+  [[nodiscard]] bool failed() const { return !ok() && !skipped(); }
 };
+
+/// Human-readable status cell shared by the CLI and bench tables:
+/// "yes" / "skip: <note>" / "NO <note>" / "ERR <error>".
+[[nodiscard]] std::string status_cell(const SweepRow& row);
 
 /// min/median wall-time convention shared by run_batch rows and the CLI's
 /// `run --repeat` (even sample counts average the two middle samples).
@@ -137,21 +161,41 @@ struct SweepOutcome {
   int threads = 1;              // resolved worker count the batch ran with
   std::uint64_t wall_ns = 0;    // whole-batch wall clock
 
-  /// True iff every non-skipped row verified.
+  /// True iff no row failed (every row is ok or skipped).
   [[nodiscard]] bool all_ok() const;
 };
+
+/// Prints every failed row of `outcome` to stderr, prefixed with `label`,
+/// and returns how many there were. The benches report poisoned cells this
+/// way (and exit nonzero) instead of dying mid-batch.
+std::size_t report_failed_rows(const SweepOutcome& outcome,
+                               const std::string& label);
+
+/// Standard epilogue of a scenario-driven bench: report_failed_rows plus a
+/// stdout warning that table cells fed by failed scenarios are invalid,
+/// mapped to the process exit code (0 = clean, 1 = failures). Call after
+/// printing the tables.
+int finish_bench(const SweepOutcome& outcome, const std::string& label);
 
 /// Executes the plan. Graphs are built once and shared across pairs; runs
 /// are dispatched through the thread pool at single-run granularity. With
 /// exec_context().deterministic (default), the rows are bit-identical for
-/// every thread count. Throws RegistryError on unknown pair names.
+/// every thread count.
+///
+/// Failure is row-scoped: an unknown pair name, a graph family that fails
+/// to build, a throwing solver, or a contract violation poisons exactly the
+/// rows that needed it (status kError, `error` carries the exception type
+/// and message) while every other row completes untouched. run_batch itself
+/// throws only on a malformed plan (repeat < 1).
 SweepOutcome run_batch(const ExecutionPlan& plan);
 
 /// Escape hatch for workloads that do not dispatch through the registry
 /// (gadget verifiers, padding hierarchies): a named body that fills its own
 /// SweepRow. run_scenarios times and parallelizes them with the same
 /// machinery as run_batch; the body is invoked once per repeat and must be
-/// safe to run concurrently with the other scenarios in the batch.
+/// safe to run concurrently with the other scenarios in the batch. A body
+/// that throws poisons only its own row (status kError), with the remaining
+/// repeats of that row abandoned.
 struct ScenarioTask {
   std::string label;
   std::function<void(SweepRow&)> body;
@@ -160,10 +204,13 @@ struct ScenarioTask {
 SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
                            int repeat = 1, int threads = 0);
 
-/// Renders rows as a JSON array (one object per non-skipped row: problem,
-/// algo, family, nodes, edges, rounds, ok, repeat, wall_ns_min,
-/// wall_ns_median, threads) — the machine-readable sweep format written by
-/// `padlock_cli sweep --json` and bench_micro's BENCH_micro.json.
+/// Renders rows as a strict JSON array — the machine-readable sweep format
+/// written by `padlock_cli sweep --json` and bench_micro's BENCH_micro.json.
+/// Every row is emitted (skipped rows included, with "skipped": true), one
+/// object per row: problem, algo, family, nodes, edges, rounds, status, ok,
+/// skipped, note?, error?, repeat, wall_ns_min, wall_ns_median, threads.
+/// Strings are escaped, so quotes/backslashes/control characters in names
+/// or error messages cannot corrupt the output.
 [[nodiscard]] std::string to_json(const SweepOutcome& outcome);
 
 }  // namespace padlock

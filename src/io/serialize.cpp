@@ -17,6 +17,13 @@ namespace {
 std::string next_line(std::istream& is) {
   std::string line;
   while (std::getline(is, line)) {
+    // Tolerate CRLF input and stray trailing blanks: getline keeps the
+    // '\r' of a Windows line ending, which would otherwise poison every
+    // header and keyword comparison downstream.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
     if (!line.empty()) return line;
   }
   fail("unexpected end of input");

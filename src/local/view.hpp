@@ -11,8 +11,9 @@
 //
 // Two accounting modes share the same algorithm code:
 //
-//   * Strict  — the view materializes the BFS ball and *aborts* on any read
-//     outside it. Used in tests; proves algorithms are genuinely local.
+//   * Strict  — the view materializes the BFS ball and *throws
+//     ContractViolation* on any read outside it. Used in tests; proves
+//     algorithms are genuinely local.
 //   * Audit   — reads pass through unchecked, but the requested radius is
 //     still recorded. Used at bench scale where materializing every ball
 //     would be Θ(n · ball) work. Tests assert Strict ≡ Audit on small
@@ -44,7 +45,7 @@ class LocalView {
   void extend(int r);
 
   /// Distance from the center to v if v is inside the gathered ball.
-  /// Strict mode: aborts when v is outside. Audit mode: unchecked reads
+  /// Strict mode: throws when v is outside. Audit mode: unchecked reads
   /// never call this (it requires ball materialization), so it materializes
   /// on demand — audit-mode algorithms should prefer the checked accessors.
   [[nodiscard]] int dist(NodeId v) const;

@@ -1,0 +1,71 @@
+#include "support/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <typeinfo>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
+
+namespace padlock {
+
+namespace {
+
+std::atomic<bool>& abort_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("PADLOCK_ABORT_ON_CONTRACT");
+    return env != nullptr && std::string_view(env) != "" &&
+           std::string_view(env) != "0";
+  }()};
+  return flag;
+}
+
+std::string demangle(const char* name) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* d = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+  std::string out = (status == 0 && d != nullptr) ? d : name;
+  std::free(d);
+  return out;
+#else
+  return name;
+#endif
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr,
+                                     const char* file, int line)
+    : std::logic_error(std::string(kind) + " failed: " + expr + " (" + file +
+                       ":" + std::to_string(line) + ")") {}
+
+bool contract_abort_enabled() { return abort_flag().load(); }
+
+void set_contract_abort(bool abort_on_violation) {
+  abort_flag().store(abort_on_violation);
+}
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line) {
+  if (contract_abort_enabled()) {
+    std::fprintf(stderr, "padlock: %s failed: %s (%s:%d)\n", kind, expr, file,
+                 line);
+    std::abort();
+  }
+  throw ContractViolation(kind, expr, file, line);
+}
+
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return demangle(typeid(e).name()) + ": " + e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace padlock

@@ -3,19 +3,43 @@
 // PADLOCK_REQUIRE is used for preconditions on public API boundaries and for
 // internal invariants; it is active in all build types because the library is
 // a research artifact where silent corruption is worse than a crash.
+//
+// A violated contract throws ContractViolation so batched sweeps can
+// attribute the failure to the offending row instead of taking the whole
+// process down. Set the PADLOCK_ABORT_ON_CONTRACT environment variable (or
+// call set_contract_abort(true)) to restore the original print-and-abort
+// behaviour when a debuggable core dump is worth more than fault isolation.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace padlock {
 
-[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
-                                          const char* file, int line) {
-  std::fprintf(stderr, "padlock: %s failed: %s (%s:%d)\n", kind, expr, file,
-               line);
-  std::abort();
-}
+/// Thrown by PADLOCK_REQUIRE / PADLOCK_ASSERT on a violated contract. A
+/// logic_error: the caller handed the library state it promised it never
+/// would, so catching it is only meaningful at fault-isolation boundaries
+/// (run_batch rows, scenario bodies), never as control flow.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line);
+};
+
+/// True iff contract violations abort instead of throwing. Initialised from
+/// the PADLOCK_ABORT_ON_CONTRACT environment variable ("0"/"" = off).
+[[nodiscard]] bool contract_abort_enabled();
+
+/// Overrides the abort-on-violation mode at runtime (debugging aid).
+void set_contract_abort(bool abort_on_violation);
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line);
+
+/// "<demangled type>: <what()>" of the in-flight exception — call from a
+/// catch block. The one failure-description format shared by the
+/// fault-capturing layers (parallel_for_capture, run_batch, run_scenarios).
+[[nodiscard]] std::string describe_current_exception();
 
 }  // namespace padlock
 

@@ -10,6 +10,8 @@
 #include <mutex>
 #include <string_view>
 
+#include "support/check.hpp"
+
 namespace padlock {
 
 namespace {
@@ -82,8 +84,9 @@ void ThreadPool::worker_loop() {
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
 
-void ThreadPool::for_range(std::size_t begin, std::size_t end,
-                           std::size_t grain, const RangeFn& fn) {
+void ThreadPool::dispatch_chunks(std::size_t begin, std::size_t end,
+                                 std::size_t grain, bool chunk_inline,
+                                 const RangeFn& chunk) {
   if (begin >= end) return;
   const std::size_t range = end - begin;
   if (grain == 0) {
@@ -91,7 +94,13 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end,
         1, range / (4 * std::max<std::size_t>(1, workers_.size())));
   }
   if (workers_.empty() || on_worker_thread() || range <= grain) {
-    fn(begin, end);
+    if (chunk_inline) {
+      for (std::size_t b = begin; b < end; b += grain) {
+        chunk(b, std::min(end, b + grain));
+      }
+    } else {
+      chunk(begin, end);
+    }
     return;
   }
 
@@ -99,7 +108,6 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end,
     std::mutex mu;
     std::condition_variable cv;
     std::size_t pending = 0;
-    std::exception_ptr error;
   };
   auto join = std::make_shared<Join>();
   const std::size_t chunks = (range + grain - 1) / grain;
@@ -110,13 +118,8 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end,
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t b = begin + c * grain;
       const std::size_t e = std::min(end, b + grain);
-      queue_->tasks.emplace_back([join, &fn, b, e] {
-        try {
-          fn(b, e);
-        } catch (...) {
-          std::lock_guard<std::mutex> jl(join->mu);
-          if (!join->error) join->error = std::current_exception();
-        }
+      queue_->tasks.emplace_back([join, &chunk, b, e] {
+        chunk(b, e);
         std::lock_guard<std::mutex> jl(join->mu);
         if (--join->pending == 0) join->cv.notify_all();
       });
@@ -126,7 +129,68 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end,
 
   std::unique_lock<std::mutex> lock(join->mu);
   join->cv.wait(lock, [&join] { return join->pending == 0; });
-  if (join->error) std::rethrow_exception(join->error);
+}
+
+void ThreadPool::for_range(std::size_t begin, std::size_t end,
+                           std::size_t grain, const RangeFn& fn) {
+  std::mutex mu;
+  std::exception_ptr error;
+  dispatch_chunks(begin, end, grain, /*chunk_inline=*/false,
+                  [&](std::size_t b, std::size_t e) {
+                    try {
+                      fn(b, e);
+                    } catch (...) {
+                      std::lock_guard<std::mutex> lock(mu);
+                      if (!error) error = std::current_exception();
+                    }
+                  });
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<ThreadPool::ChunkFault> ThreadPool::for_range_capture(
+    std::size_t begin, std::size_t end, std::size_t grain, const RangeFn& fn) {
+  std::vector<ChunkFault> faults;
+  std::mutex mu;
+  std::size_t dropped = 0;  // guarded by mu
+  // chunk_inline: the serial path iterates chunk by chunk too, so capture
+  // granularity matches the pooled path (one fault cannot swallow the
+  // whole range).
+  dispatch_chunks(begin, end, grain, /*chunk_inline=*/true,
+                  [&](std::size_t b, std::size_t e) {
+                    try {
+                      fn(b, e);
+                    } catch (...) {
+                      // The recording itself allocates; under genuine
+                      // memory exhaustion it must not violate the no-throw
+                      // chunk contract (a worker-side escape would
+                      // terminate the process or hang the join).
+                      std::string error;
+                      try {
+                        error = describe_current_exception();
+                      } catch (...) {
+                      }
+                      std::lock_guard<std::mutex> lock(mu);
+                      try {
+                        faults.push_back(ChunkFault{b, e, std::move(error)});
+                      } catch (...) {
+                        ++dropped;
+                      }
+                    }
+                  });
+  if (dropped != 0) {
+    // Attributing the dropped chunks precisely was impossible under the
+    // memory pressure above; record one coarse fault on the caller's
+    // thread (if this throws too, it at least throws at the call site).
+    faults.push_back(ChunkFault{
+        begin, end,
+        std::to_string(dropped) +
+            " chunk fault(s) dropped under memory pressure"});
+  }
+  std::sort(faults.begin(), faults.end(),
+            [](const ChunkFault& a, const ChunkFault& b) {
+              return a.begin < b.begin;
+            });
+  return faults;
 }
 
 ThreadPool& global_pool() {
@@ -149,6 +213,12 @@ ThreadPool& global_pool() {
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const ThreadPool::RangeFn& fn) {
   global_pool().for_range(begin, end, grain, fn);
+}
+
+std::vector<ThreadPool::ChunkFault> parallel_for_capture(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const ThreadPool::RangeFn& fn) {
+  return global_pool().for_range_capture(begin, end, grain, fn);
 }
 
 }  // namespace padlock

@@ -84,11 +84,39 @@ class ThreadPool {
   void for_range(std::size_t begin, std::size_t end, std::size_t grain,
                  const RangeFn& fn);
 
+  /// One captured per-chunk failure from for_range_capture: the index range
+  /// the chunk owned and the described exception that escaped it.
+  struct ChunkFault {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::string error;  // describe_current_exception() format
+  };
+
+  /// Fault-capturing variant of for_range: every chunk that throws is
+  /// recorded instead of killing the batch, so one poisoned chunk cannot
+  /// destroy the work of the others. The whole range still settles; the
+  /// returned faults are sorted by chunk begin (empty = clean run). The
+  /// serial/nested inline path iterates chunk by chunk so it captures at
+  /// the same granularity as the pooled path.
+  [[nodiscard]] std::vector<ChunkFault> for_range_capture(std::size_t begin,
+                                                          std::size_t end,
+                                                          std::size_t grain,
+                                                          const RangeFn& fn);
+
   /// True iff the calling thread is a worker of any ThreadPool.
   [[nodiscard]] static bool on_worker_thread();
 
  private:
   void worker_loop();
+
+  /// Shared dispatch behind for_range / for_range_capture: resolves the
+  /// grain, schedules the chunks (pooled or inline), and blocks until the
+  /// range settles. `chunk` must not throw — each caller wraps its own
+  /// error policy around `fn`. `chunk_inline` selects whether the inline
+  /// path iterates chunk by chunk (capture granularity) or runs the whole
+  /// range as one block.
+  void dispatch_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                       bool chunk_inline, const RangeFn& chunk);
 
   struct Queue;  // shared task queue state (mutex/cv/deque)
   std::unique_ptr<Queue> queue_;
@@ -103,5 +131,11 @@ class ThreadPool {
 /// of the library uses.
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const ThreadPool::RangeFn& fn);
+
+/// for_range_capture through the global pool: the fault-isolating primitive
+/// behind run_batch / run_scenarios.
+[[nodiscard]] std::vector<ThreadPool::ChunkFault> parallel_for_capture(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const ThreadPool::RangeFn& fn);
 
 }  // namespace padlock

@@ -140,8 +140,9 @@ TEST_F(DeterminismTest, RunBatchRowsIdenticalAcrossThreadCounts) {
     EXPECT_EQ(a.graph.family, b.graph.family);
     EXPECT_EQ(a.nodes, b.nodes);
     EXPECT_EQ(a.edges, b.edges);
-    EXPECT_EQ(a.skipped, b.skipped);
-    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.note, b.note);
+    EXPECT_EQ(a.error, b.error);
     EXPECT_EQ(a.rounds, b.rounds);
     EXPECT_EQ(a.stats.entries, b.stats.entries);
   }
@@ -157,8 +158,8 @@ TEST_F(DeterminismTest, RunBatchSkipsIncompatiblePairs) {
   plan.graphs = {{"cycle", 32, 3, 1}, {"regular", 32, 3, 1}};
   const SweepOutcome out = run_batch(plan);
   ASSERT_EQ(out.rows.size(), 2u);
-  EXPECT_FALSE(out.rows[0].skipped);
-  EXPECT_TRUE(out.rows[1].skipped);
+  EXPECT_FALSE(out.rows[0].skipped());
+  EXPECT_TRUE(out.rows[1].skipped());
   EXPECT_TRUE(out.all_ok());  // skipped rows do not count as failures
 }
 

@@ -16,8 +16,8 @@ namespace {
 
 // The paper's structural constraints are constant-radius: re-evaluate them
 // through a *strict* LocalView of radius 5 (2d walks 4 hops + one hop of
-// context) — any read beyond the gathered ball aborts the process, so this
-// mechanically certifies the constant-radius claim of §4.2/§4.3.
+// context) — any read beyond the gathered ball throws ContractViolation, so
+// this mechanically certifies the constant-radius claim of §4.2/§4.3.
 TEST(StrictView, GadgetConstraintsAreRadius5Checkable) {
   const auto inst = build_gadget(3, 4);
   const Graph& g = inst.graph;

@@ -92,6 +92,51 @@ TEST(Serialize, PaddedInstanceRoundTrip) {
   EXPECT_EQ(pb.instance.pi_input, back.pi_input);
 }
 
+// CRLF tolerance: a file written on (or piped through) Windows carries \r\n
+// line endings; the readers must parse it identically to the LF original.
+TEST(Serialize, CrlfRoundTrip) {
+  const auto to_crlf = [](const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      if (c == '\n') out += '\r';
+      out += c;
+    }
+    return out;
+  };
+
+  {
+    const Graph g = build::random_regular(24, 3, 5);
+    std::stringstream lf;
+    io::write_graph(lf, g);
+    std::stringstream crlf(to_crlf(lf.str()));
+    EXPECT_TRUE(graphs_equal(g, io::read_graph(crlf)));
+  }
+  {
+    const Graph g = build::cycle(9);
+    NeLabeling l(g);
+    l.node[0] = 42;
+    l.edge[2] = 7;
+    l.half[HalfEdge{3, 1}] = -11;
+    std::stringstream lf;
+    io::write_labeling(lf, l);
+    std::stringstream crlf(to_crlf(lf.str()));
+    EXPECT_EQ(io::read_labeling(crlf, g), l);
+  }
+  {
+    const Graph base = build::cycle(5);
+    const PaddedBuild pb =
+        build_padded_instance(base, NeLabeling(base), 2, 3);
+    std::stringstream lf;
+    io::write_padded_instance(lf, pb.instance);
+    // Trailing blanks ride along with the \r to cover the full rtrim path.
+    std::stringstream crlf(to_crlf(lf.str()) + "  \r\n");
+    const PaddedInstance back = io::read_padded_instance(crlf);
+    EXPECT_TRUE(graphs_equal(pb.instance.graph, back.graph));
+    EXPECT_EQ(pb.instance.pi_input, back.pi_input);
+    EXPECT_EQ(pb.instance.port_edge, back.port_edge);
+  }
+}
+
 TEST(Serialize, RejectsMalformedInput) {
   {
     std::stringstream ss("not a padlock file\n");

@@ -6,6 +6,7 @@
 #include "lcl/problems/matching.hpp"
 #include "lcl/problems/mis.hpp"
 #include "lcl/problems/sinkless_orientation.hpp"
+#include "support/thread_pool.hpp"
 
 namespace padlock {
 namespace {
@@ -290,6 +291,72 @@ TEST(Checker, TruncationIsExplicit) {
   EXPECT_FALSE(full.truncated);
   EXPECT_EQ(full.total_violations, 100u);
   EXPECT_EQ(full.violations.size(), 100u);
+}
+
+// ---- the non-deterministic early-exit path (scan_sites) --------------------
+
+// Restores exec_context() so the deterministic/threads knobs cannot leak
+// into the other checker tests.
+class CheckerScanMode : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = exec_context(); }
+  void TearDown() override { exec_context() = saved_; }
+
+ private:
+  ExecContext saved_;
+};
+
+TEST_F(CheckerScanMode, EarlyExitSetsTruncatedAndKeepsOkExact) {
+  // 4096 node sites + 4096 edge sites all violate; with the report list
+  // capped at 4, the relaxed scan may stop counting early. `ok` must stay
+  // exact and the result must read as truncated (unscanned sites may hide
+  // further violations).
+  Graph g = build::cycle(4096);
+  const SinklessOrientation lcl;
+  NeLabeling input(g), output(g);
+  for (const int threads : {1, 4}) {
+    exec_context().threads = threads;
+    exec_context().deterministic = false;
+    const auto res = check_ne_lcl(g, lcl, input, output, 4);
+    EXPECT_FALSE(res.ok);
+    EXPECT_TRUE(res.truncated) << "threads=" << threads;
+    EXPECT_LE(res.violations.size(), 4u);
+    // The count is a lower bound in this mode: at least the reported
+    // sites, never more than the true total.
+    EXPECT_GE(res.total_violations, res.violations.size());
+    EXPECT_LE(res.total_violations, 8192u);
+  }
+}
+
+TEST_F(CheckerScanMode, DeterministicCountStaysExactUnderThreads) {
+  Graph g = build::cycle(4096);
+  const SinklessOrientation lcl;
+  NeLabeling input(g), output(g);
+  for (const int threads : {1, 4}) {
+    exec_context().threads = threads;
+    exec_context().deterministic = true;
+    const auto res = check_ne_lcl(g, lcl, input, output, 4);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.total_violations, 8192u) << "threads=" << threads;
+    EXPECT_EQ(res.violations.size(), 4u);
+    EXPECT_TRUE(res.truncated);  // capped list, exact count
+  }
+}
+
+TEST_F(CheckerScanMode, NonDeterministicCleanScanIsNotTruncated) {
+  // No violations → the early-exit budget is never hit; the relaxed mode
+  // must not spuriously flag a clean result as truncated.
+  Graph g = build::cycle(64);
+  Orientation tails(g, 0);
+  const SinklessOrientation lcl;
+  NeLabeling input(g);
+  const NeLabeling output = orientation_to_labeling(g, tails);
+  exec_context().threads = 4;
+  exec_context().deterministic = false;
+  const auto res = check_ne_lcl(g, lcl, input, output, 4);
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(res.truncated);
+  EXPECT_EQ(res.total_violations, 0u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "local/ids.hpp"
 #include "local/message_engine.hpp"
 #include "local/view.hpp"
+#include "support/check.hpp"
 
 namespace padlock {
 namespace {
@@ -59,11 +60,13 @@ TEST(LocalView, StrictAllowsBallReads) {
   EXPECT_EQ(view.neighbor(1, 0), 0u);  // node 1's port 0 is edge {0,1}
 }
 
-TEST(LocalView, StrictAbortsOutsideBall) {
+TEST(LocalView, StrictThrowsOutsideBall) {
   Graph g = build::cycle(8);
   LocalView view(g, 0, ViewMode::kStrict);
   view.extend(1);
-  EXPECT_DEATH((void)view.degree(4), "locality");
+  // Contract violations throw (fault-isolated sweeps); the abort behaviour
+  // is opt-in via PADLOCK_ABORT_ON_CONTRACT / set_contract_abort.
+  EXPECT_THROW((void)view.degree(4), ContractViolation);
 }
 
 TEST(LocalView, AuditTracksRadiusWithoutChecks) {
@@ -156,7 +159,7 @@ TEST(MessageEngine, RespectsMaxRounds) {
     void step(NodeId, std::span<const std::optional<Message>>, int) {}
     bool done(NodeId) const { return false; }
   } alg;
-  EXPECT_DEATH(run_message_rounds(g, alg, 3), "requirement");
+  EXPECT_THROW(run_message_rounds(g, alg, 3), ContractViolation);
 }
 
 }  // namespace

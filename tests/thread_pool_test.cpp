@@ -108,5 +108,68 @@ TEST_F(ThreadPoolTest, ZeroThreadsResolvesToHardware) {
   EXPECT_GE(resolved_threads(), 1);
 }
 
+// ---- the fault-capturing variant -------------------------------------------
+
+TEST_F(ThreadPoolTest, ForRangeCaptureRecordsFaultsAndFinishesTheRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(100, 0);
+  const auto faults =
+      pool.for_range_capture(0, hits.size(), 10, [&](std::size_t b,
+                                                     std::size_t e) {
+        if (b == 30) throw std::runtime_error("chunk 30 boom");
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      });
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].begin, 30u);
+  EXPECT_EQ(faults[0].end, 40u);
+  EXPECT_NE(faults[0].error.find("runtime_error"), std::string::npos);
+  EXPECT_NE(faults[0].error.find("chunk 30 boom"), std::string::npos);
+  // Every other chunk still completed.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 30 && i < 40) ? 0 : 1) << i;
+  }
+}
+
+TEST_F(ThreadPoolTest, ForRangeCaptureFaultsAreSortedByChunkBegin) {
+  ThreadPool pool(4);
+  const auto faults = pool.for_range_capture(
+      0, 100, 10, [&](std::size_t b, std::size_t) {
+        if (b == 70 || b == 20 || b == 50) {
+          throw std::logic_error("boom " + std::to_string(b));
+        }
+      });
+  ASSERT_EQ(faults.size(), 3u);
+  EXPECT_EQ(faults[0].begin, 20u);
+  EXPECT_EQ(faults[1].begin, 50u);
+  EXPECT_EQ(faults[2].begin, 70u);
+}
+
+TEST_F(ThreadPoolTest, ForRangeCaptureSerialKeepsChunkGranularity) {
+  // The inline (serial) path must capture per chunk too: one poisoned chunk
+  // cannot swallow the rest of the range.
+  ThreadPool pool(1);
+  std::vector<int> hits(40, 0);
+  const auto faults =
+      pool.for_range_capture(0, hits.size(), 10, [&](std::size_t b,
+                                                     std::size_t e) {
+        if (b == 10) throw std::runtime_error("serial boom");
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      });
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].begin, 10u);
+  for (std::size_t i = 20; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST_F(ThreadPoolTest, ForRangeCaptureCleanRunReturnsNoFaults) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  const auto faults =
+      pool.for_range_capture(0, 64, 4, [&](std::size_t b, std::size_t e) {
+        sum += static_cast<int>(e - b);
+      });
+  EXPECT_TRUE(faults.empty());
+  EXPECT_EQ(sum.load(), 64);
+}
+
 }  // namespace
 }  // namespace padlock
