@@ -103,11 +103,19 @@ int main(int argc, char** argv) {
   render(baseline, baseline_out, 2);
   t.print();
 
+  // The baseline plan replays the general plan's cycle/regular menu, so its
+  // graphs come straight from the sweep-wide cache.
   std::printf(
-      "(batch: %.1f ms on %d threads)\n",
+      "(batch: %.1f ms on %d threads; graph cache: %llu hits, %llu misses)\n",
       (general_out.wall_ns + orientation_out.wall_ns + baseline_out.wall_ns) /
           1e6,
-      general_out.threads);
+      general_out.threads,
+      static_cast<unsigned long long>(general_out.cache_hits +
+                                      orientation_out.cache_hits +
+                                      baseline_out.cache_hits),
+      static_cast<unsigned long long>(general_out.cache_misses +
+                                      orientation_out.cache_misses +
+                                      baseline_out.cache_misses));
   std::printf(
       "\nExpected shape: the log*-band rows are flat or creep by O(1)\n"
       "(their log* / O(log n)-bit schedules barely notice n); the ruling-\n"

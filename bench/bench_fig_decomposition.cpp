@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "algo/decomposition.hpp"
+#include "core/graph_cache.hpp"
 #include "core/hierarchy.hpp"
 #include "core/runner.hpp"
 #include "graph/builders.hpp"
@@ -58,7 +59,11 @@ int main(int argc, char** argv) {
         {"decomposition/n=2^" + std::to_string(lg),
          [lg, lg_min, &decomp](SweepRow& row) {
            const std::size_t n = std::size_t{1} << lg;
-           const Graph g = build::random_regular_simple(n, 3, 71 + lg);
+           // "regular" through the sweep-wide cache: repeats of this
+           // scenario share one instance instead of rebuilding it.
+           const auto g_ptr = GraphCache::instance().get_or_build(
+               "regular", n, 3, static_cast<std::uint64_t>(71 + lg));
+           const Graph& g = *g_ptr;
            const auto d = network_decomposition(g, shuffled_ids(g, lg), 73 + lg);
            PADLOCK_REQUIRE(decomposition_valid(g, d, 2 + lg));
            decomp[static_cast<std::size_t>(lg - lg_min)] = {
@@ -109,8 +114,12 @@ int main(int argc, char** argv) {
                fmt(r.det / r.rnd, 2)});
   }
   b.print();
-  std::printf("(batch: %.1f ms on %d threads)\n", out.wall_ns / 1e6,
-              out.threads);
+  const GraphCacheStats cache = GraphCache::instance().stats();
+  std::printf("(batch: %.1f ms on %d threads; graph cache: %llu hits, "
+              "%llu misses)\n",
+              out.wall_ns / 1e6, out.threads,
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
   std::printf(
       "\nExpected shapes: decomposition colors and radius both O(log n)\n"
       "(rounds O(log² n)); the D/R column stays in the same Θ(log/loglog)\n"

@@ -23,6 +23,7 @@
 #include "algo/carving.hpp"
 #include "algo/derandomize.hpp"
 #include "algo/ruling_set.hpp"
+#include "core/graph_cache.hpp"
 #include "core/runner.hpp"
 #include "graph/builders.hpp"
 #include "lcl/problems/coloring.hpp"
@@ -65,7 +66,11 @@ int main(int argc, char** argv) {
         {"derand/mis-sweep/n=2^" + std::to_string(lg),
          [lg, a_min, &sweeps](SweepRow& row) {
            const std::size_t n = std::size_t{1} << lg;
-           const Graph g = build::random_regular_simple(n, 3, 171 + lg);
+           // "regular" through the sweep-wide cache (shared across
+           // repeats of this scenario).
+           const auto g_ptr = GraphCache::instance().get_or_build(
+               "regular", n, 3, static_cast<std::uint64_t>(171 + lg));
+           const Graph& g = *g_ptr;
            const IdMap ids = shuffled_ids(g, lg);
            const Decomposition rnd = network_decomposition(g, ids, 29 + lg);
            const Decomposition det = carving_decomposition(g, ids);
@@ -92,7 +97,9 @@ int main(int argc, char** argv) {
         {"derand/aglp-ruling/n=2^" + std::to_string(lg),
          [lg, b_min, &rulings](SweepRow& row) {
            const std::size_t n = std::size_t{1} << lg;
-           const Graph g = build::random_regular_simple(n, 3, 271 + lg);
+           const auto g_ptr = GraphCache::instance().get_or_build(
+               "regular", n, 3, static_cast<std::uint64_t>(271 + lg));
+           const Graph& g = *g_ptr;
            const auto r = ruling_set_aglp(g, shuffled_ids(g, lg), n);
            PADLOCK_REQUIRE(ruling_set_independent(g, r.in_set, 2));
            rulings[static_cast<std::size_t>(lg - b_min)] = {
@@ -130,8 +137,12 @@ int main(int argc, char** argv) {
                std::to_string(2 * (lg + 1))});
   }
   b.print();
-  std::printf("(batch: %.1f ms on %d threads)\n", out.wall_ns / 1e6,
-              out.threads);
+  const GraphCacheStats cache = GraphCache::instance().stats();
+  std::printf("(batch: %.1f ms on %d threads; graph cache: %llu hits, "
+              "%llu misses)\n",
+              out.wall_ns / 1e6, out.threads,
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
   std::printf(
       "\nExpected shapes: sweep rounds ≈ colors × radius = O(log² n) over\n"
       "the randomized decomposition (the R·log² n term of GHK); the\n"

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/graph_cache.hpp"
 #include "core/padded_graph.hpp"
 #include "core/registry.hpp"
 #include "core/runner.hpp"
@@ -32,6 +33,7 @@
 #include "io/serialize.hpp"
 #include "lcl/checker.hpp"
 #include "lcl/problems/sinkless_orientation.hpp"
+#include "local/engine.hpp"
 #include "support/table.hpp"
 
 using namespace padlock;
@@ -44,6 +46,34 @@ namespace {
 // so the pool may run them concurrently.
 std::vector<ScenarioTask> substrate_scenarios() {
   std::vector<ScenarioTask> tasks;
+  // The strict/audit gather hot path through the flat-ball engine: the same
+  // radius-2 rule in both accounting modes. The strict rows are what the
+  // CI bench-regression gate watches — this is the path the epoch-stamped
+  // BallScratch took from hash-map materialization to flat slab scans.
+  for (const std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 14}) {
+    const auto g = GraphCache::instance().get_or_build("regular", n, 3, 13);
+    for (const ViewMode mode : {ViewMode::kStrict, ViewMode::kAudit}) {
+      const char* mode_name = mode == ViewMode::kStrict ? "strict" : "audit";
+      tasks.push_back(
+          {"gather/" + std::string(mode_name) + "/r2/n=" + std::to_string(n),
+           [g, mode](SweepRow& row) {
+             NodeMap<std::uint64_t> sink(*g, 0);  // per-node slots only
+             const RoundReport rep = run_gather(
+                 *g, mode, [&](LocalView& view, NodeId v) {
+                   view.extend(2);
+                   std::uint64_t acc = 0;
+                   for (int p = 0; p < view.degree(v); ++p) {
+                     const NodeId w = view.neighbor(v, p);
+                     for (int q = 0; q < view.degree(w); ++q)
+                       acc += view.neighbor(w, q);
+                   }
+                   sink[v] = acc;
+                 });
+             row.nodes = g->num_nodes();
+             row.rounds = rep.rounds;
+           }});
+    }
+  }
   for (const std::size_t n : {std::size_t{1} << 10, std::size_t{1} << 14}) {
     tasks.push_back({"build/random-regular/n=" + std::to_string(n),
                      [n](SweepRow& row) {
@@ -133,7 +163,8 @@ std::vector<ScenarioTask> substrate_scenarios() {
 }
 
 void print_rows(const char* title, const SweepOutcome& outcome) {
-  std::printf("\n%s (threads=%d)\n", title, outcome.threads);
+  std::printf("\n%s (threads=%d, %s)\n", title, outcome.threads,
+              cache_note(outcome).c_str());
   Table t({"workload", "n", "rounds", "ok", "wall min (us)", "wall med (us)"});
   for (const SweepRow& row : outcome.rows) {
     if (row.skipped()) continue;
@@ -229,10 +260,21 @@ int main(int argc, char** argv) {
               runners.rows.size() + baseline.rows.size() +
                   substrate.rows.size(),
               runners.threads, all_ok ? "all verified" : "FAILURES");
+  const GraphCacheStats cache = GraphCache::instance().stats();
+  std::printf("graph cache (process-wide): %llu hits, %llu misses, "
+              "%zu entries resident\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              GraphCache::instance().size());
 
   if (!json_path.empty()) {
-    // One merged row set; outcome threads are identical across the batches.
+    // One merged row set; outcome threads are identical across the
+    // batches, wall_ns sums all three, and the cache counters sum over
+    // the cached (run_batch) sweeps — the scenario rows carry no menu.
     SweepOutcome merged = runners;
+    merged.wall_ns = total_ns;
+    merged.cache_hits += baseline.cache_hits;
+    merged.cache_misses += baseline.cache_misses;
     merged.rows.insert(merged.rows.end(), baseline.rows.begin(),
                        baseline.rows.end());
     merged.rows.insert(merged.rows.end(), substrate.rows.begin(),

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a BENCH_micro.json run against the
+committed baseline (bench/baseline_micro.json) with a +/-25% tolerance.
+
+Comparison is on each row's *share* of the total min-wall time rather
+than raw nanoseconds, so a uniformly faster or slower machine (CI runner
+vs. the machine that refreshed the baseline) cancels out; what fails the
+gate is a row whose cost grew relative to the rest of the suite. Rows are
+matched by (problem, algo, family, nodes); only rows with status "ok" in
+both files and a baseline min-wall above the noise floor participate. The
+min over repeats (not the median) is compared because it is the stable
+statistic under scheduler jitter.
+
+Exit codes: 0 clean, 1 regression, 2 usage/parse error.
+
+Refreshing the baseline (CI menu):
+    ./build/bench_micro --sizes 64 --repeat 5 --threads 1 \
+        --json bench/baseline_micro.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "rows" not in doc:
+        raise ValueError(f"{path}: expected a sweep object with a 'rows' key")
+    rows = {}
+    for row in doc["rows"]:
+        if row.get("status") != "ok":
+            continue
+        key = (row.get("problem", ""), row.get("algo", ""),
+               row.get("family", ""), row.get("nodes", 0))
+        rows[key] = int(row.get("wall_ns_min", 0))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_micro.json of this run")
+    parser.add_argument("baseline", help="committed baseline_micro.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative growth of a row's share of "
+                             "total wall time (default 0.25 = +/-25%%)")
+    parser.add_argument("--floor-ns", type=int, default=1_000_000,
+                        help="ignore rows whose baseline min-wall is below "
+                             "this (noise; default 1ms)")
+    args = parser.parse_args()
+
+    try:
+        current = load_rows(args.current)
+        baseline = load_rows(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench-gate: {err}", file=sys.stderr)
+        return 2
+
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        print("bench-gate: no comparable ok-rows between current and "
+              "baseline", file=sys.stderr)
+        return 2
+    missing = sorted(set(baseline) - set(current))
+    for key in missing:
+        print(f"bench-gate: WARNING baseline row vanished: {key}")
+
+    cur_total = sum(current[k] for k in common)
+    base_total = sum(baseline[k] for k in common)
+    if cur_total == 0 or base_total == 0:
+        print("bench-gate: zero total wall time; nothing to compare",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    for key in common:
+        base_ns = baseline[key]
+        if base_ns < args.floor_ns:
+            continue
+        cur_share = current[key] / cur_total
+        base_share = base_ns / base_total
+        if cur_share > base_share * (1.0 + args.tolerance):
+            regressions.append((key, base_ns, current[key], base_share,
+                                cur_share))
+
+    print(f"bench-gate: {len(common)} comparable rows, total min-wall "
+          f"{cur_total / 1e6:.1f} ms (baseline {base_total / 1e6:.1f} ms)")
+    for key, base_ns, cur_ns, base_share, cur_share in regressions:
+        problem, algo, family, nodes = key
+        name = f"{problem}/{algo}" if algo else problem
+        print(f"bench-gate: REGRESSION {name} @{family} n={nodes}: "
+              f"share {base_share:.1%} -> {cur_share:.1%} "
+              f"({base_ns / 1e3:.0f}us -> {cur_ns / 1e3:.0f}us)")
+    if regressions:
+        print(f"bench-gate: {len(regressions)} row(s) regressed beyond "
+              f"+{args.tolerance:.0%}")
+        return 1
+    print("bench-gate: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,11 @@
 //       strategies: sequential shuffled sparse adversarial
 //   padlock_cli sweep    [--pairs p/a,p/a|all] [--family f1,f2] [--sizes
 //                  a,b,c] [--degree D] [--seed S] [--repeat R] [--threads T]
-//                  [--no-check] [--json]
+//                  [--no-check] [--no-cache] [--json]
 //       the batched execution plan: pairs × families × sizes through the
-//       thread pool (core/runner.hpp run_batch)
+//       thread pool (core/runner.hpp run_batch). The graph menu resolves
+//       through the sweep-wide GraphCache unless --no-cache builds every
+//       entry fresh (rows are bit-identical either way; see docs/API.md)
 //
 // The gadget/padding tooling (unchanged):
 //   padlock_cli gadget   --delta 3 --height 4 [--fault <name>] [--dot]
@@ -214,6 +216,7 @@ int cmd_sweep(const Args& a) {
   plan.options.check = !a.flag("no-check");
   plan.repeat = static_cast<int>(a.num("repeat", 1));
   plan.threads = static_cast<int>(a.num("threads", 0));
+  plan.use_cache = !a.flag("no-cache");
 
   const SweepOutcome outcome = run_batch(plan);
   if (a.flag("json")) {
@@ -234,8 +237,9 @@ int cmd_sweep(const Args& a) {
                ran ? fmt(row.wall_ns_median / 1e3, 1) : "-"});
   }
   t.print();
-  std::printf("%zu rows in %.1f ms (threads=%d)%s\n", outcome.rows.size(),
+  std::printf("%zu rows in %.1f ms (threads=%d, %s)%s\n", outcome.rows.size(),
               outcome.wall_ns / 1e6, outcome.threads,
+              cache_note(outcome).c_str(),
               outcome.all_ok() ? "" : " — FAILURES");
   return outcome.all_ok() ? 0 : 1;
 }

@@ -1,10 +1,13 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
+#include "core/graph_cache.hpp"
 #include "graph/builders.hpp"
 #include "support/check.hpp"
 
@@ -199,6 +202,12 @@ bool SweepOutcome::all_ok() const {
   return true;
 }
 
+std::string cache_note(const SweepOutcome& outcome) {
+  if (!outcome.cached) return "graph cache: off";
+  return "graph cache: " + std::to_string(outcome.cache_hits) + " hits, " +
+         std::to_string(outcome.cache_misses) + " misses";
+}
+
 std::size_t report_failed_rows(const SweepOutcome& outcome,
                                const std::string& label) {
   std::size_t failures = 0;
@@ -289,22 +298,70 @@ SweepOutcome run_batch(const ExecutionPlan& plan) {
   outcome.threads = resolved_threads();
   const auto batch_t0 = Clock::now();
 
-  // Build the instance menu once, in parallel; every pair shares the same
-  // immutable graphs. A family that fails to build (unknown name, invalid
-  // parameters, bad_alloc) poisons only the rows that needed it.
-  std::vector<Graph> graphs(plan.graphs.size());
+  // Resolve the instance menu once; every pair shares the same immutable
+  // graphs. A family that fails to build (unknown name, invalid parameters,
+  // bad_alloc) poisons only the rows that needed it.
+  //
+  // Cached plans dedupe by canonical key first (a later duplicate of an
+  // earlier spec is a hit without touching the cache) and pull each
+  // distinct spec through the process-wide GraphCache; uncached plans keep
+  // the pre-cache behavior — one fresh build per menu entry.
+  std::vector<std::shared_ptr<const Graph>> graphs(plan.graphs.size());
   std::vector<std::string> graph_errors(plan.graphs.size());
-  parallel_for(0, plan.graphs.size(), 1, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
+  outcome.cached = plan.use_cache;
+  std::vector<std::size_t> build_list;  // menu indices that actually build
+  std::vector<std::size_t> alias(plan.graphs.size());
+  if (plan.use_cache) {
+    std::map<build::FamilyKey, std::size_t> first_of;
+    for (std::size_t i = 0; i < plan.graphs.size(); ++i) {
+      const GraphSpec& s = plan.graphs[i];
+      const auto [it, inserted] = first_of.try_emplace(
+          build::canonical_key(s.family, s.nodes, s.degree, s.seed), i);
+      if (inserted) {
+        build_list.push_back(i);
+      } else {
+        ++outcome.cache_hits;  // duplicate row of this very plan
+      }
+      alias[i] = it->second;
+    }
+  } else {
+    for (std::size_t i = 0; i < plan.graphs.size(); ++i) {
+      build_list.push_back(i);
+      alias[i] = i;
+    }
+  }
+  std::atomic<std::uint64_t> menu_hits{0};
+  std::atomic<std::uint64_t> menu_misses{0};
+  parallel_for(0, build_list.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t bi = b; bi < e; ++bi) {
+      const std::size_t i = build_list[bi];
       const GraphSpec& spec = plan.graphs[i];
       try {
-        graphs[i] = build::family(spec.family, spec.nodes, spec.degree,
-                                  spec.seed);
+        if (plan.use_cache) {
+          bool hit = false;
+          graphs[i] = GraphCache::instance().get_or_build(
+              spec.family, spec.nodes, spec.degree, spec.seed, &hit);
+          (hit ? menu_hits : menu_misses).fetch_add(1,
+                                                    std::memory_order_relaxed);
+        } else {
+          graphs[i] = std::make_shared<const Graph>(build::family(
+              spec.family, spec.nodes, spec.degree, spec.seed));
+        }
       } catch (...) {
         graph_errors[i] = describe_current_exception();
       }
     }
   });
+  for (std::size_t i = 0; i < plan.graphs.size(); ++i) {
+    if (alias[i] != i) {
+      graphs[i] = graphs[alias[i]];
+      graph_errors[i] = graph_errors[alias[i]];
+    }
+  }
+  if (plan.use_cache) {
+    outcome.cache_hits += menu_hits.load();
+    outcome.cache_misses += menu_misses.load();
+  }
 
   // One row per (pair, graph) cell, pair-major; each cell is an independent
   // pool task, so the whole cross-product × repeat sweep saturates the
@@ -335,7 +392,7 @@ SweepOutcome run_batch(const ExecutionPlan& plan) {
             row.error = "graph menu: " + graph_errors[gi];
             continue;
           }
-          const Graph& g = graphs[gi];
+          const Graph& g = *graphs[gi];
           row.nodes = g.num_nodes();
           row.edges = g.num_edges();
 
@@ -473,7 +530,11 @@ std::string json_escape(const std::string& s) {
 
 std::string to_json(const SweepOutcome& outcome) {
   std::ostringstream out;
-  out << "[";
+  out << "{\"threads\": " << outcome.threads
+      << ", \"wall_ns\": " << outcome.wall_ns
+      << ", \"cache\": " << (outcome.cached ? "true" : "false")
+      << ", \"cache_hits\": " << outcome.cache_hits
+      << ", \"cache_misses\": " << outcome.cache_misses << ", \"rows\": [";
   bool first = true;
   for (const SweepRow& row : outcome.rows) {
     if (!first) out << ",";
@@ -493,10 +554,9 @@ std::string to_json(const SweepOutcome& outcome) {
     }
     out << ", \"repeat\": " << row.repeat
         << ", \"wall_ns_min\": " << row.wall_ns_min
-        << ", \"wall_ns_median\": " << row.wall_ns_median
-        << ", \"threads\": " << outcome.threads << "}";
+        << ", \"wall_ns_median\": " << row.wall_ns_median << "}";
   }
-  out << "\n]\n";
+  out << "\n]}\n";
   return out.str();
 }
 

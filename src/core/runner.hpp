@@ -102,6 +102,13 @@ struct ExecutionPlan {
   /// Worker threads for this batch: 0 = keep exec_context() as is,
   /// otherwise exec_context().threads is set (and restored) around the run.
   int threads = 0;
+  /// Resolve the graph menu through the process-wide GraphCache
+  /// (core/graph_cache.hpp): identical specs — within this plan or across
+  /// earlier batches — share one immutable instance. false (`padlock_cli
+  /// sweep --no-cache`) builds every menu entry fresh and leaves the cache
+  /// untouched; the rows are bit-identical either way (builders are
+  /// deterministic), only the wall clock and the cache counters differ.
+  bool use_cache = true;
 };
 
 /// Row-scoped outcome taxonomy: failure is a first-class result, never a
@@ -160,10 +167,21 @@ struct SweepOutcome {
   std::vector<SweepRow> rows;
   int threads = 1;              // resolved worker count the batch ran with
   std::uint64_t wall_ns = 0;    // whole-batch wall clock
+  /// Graph-cache accounting of this batch's menu resolution: a hit is a
+  /// menu entry served without building (already cached, or a duplicate
+  /// spec earlier in the same plan). Both stay 0 for run_scenarios batches
+  /// (no menu) and for use_cache == false plans.
+  bool cached = false;          // menu went through the GraphCache
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   /// True iff no row failed (every row is ok or skipped).
   [[nodiscard]] bool all_ok() const;
 };
+
+/// One-line cache accounting for bench/CLI footers: "graph cache: 3 hits, 5
+/// misses" (or "graph cache: off" for uncached / menu-less batches).
+[[nodiscard]] std::string cache_note(const SweepOutcome& outcome);
 
 /// Prints every failed row of `outcome` to stderr, prefixed with `label`,
 /// and returns how many there were. The benches report poisoned cells this
@@ -177,8 +195,10 @@ std::size_t report_failed_rows(const SweepOutcome& outcome,
 /// printing the tables.
 int finish_bench(const SweepOutcome& outcome, const std::string& label);
 
-/// Executes the plan. Graphs are built once and shared across pairs; runs
-/// are dispatched through the thread pool at single-run granularity. With
+/// Executes the plan. The graph menu resolves through the sweep-wide
+/// GraphCache (one build per distinct canonical spec, shared across rows,
+/// repeats, threads, and earlier batches; use_cache = false builds fresh);
+/// runs are dispatched through the thread pool at single-run granularity. With
 /// exec_context().deterministic (default), the rows are bit-identical for
 /// every thread count.
 ///
@@ -204,13 +224,20 @@ struct ScenarioTask {
 SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
                            int repeat = 1, int threads = 0);
 
-/// Renders rows as a strict JSON array — the machine-readable sweep format
-/// written by `padlock_cli sweep --json` and bench_micro's BENCH_micro.json.
+/// Renders the outcome as one strict JSON object — the machine-readable
+/// sweep format written by `padlock_cli sweep --json` and bench_micro's
+/// BENCH_micro.json:
+///
+///   {"threads": T, "wall_ns": W, "cache": true|false,
+///    "cache_hits": H, "cache_misses": M, "rows": [...]}
+///
 /// Every row is emitted (skipped rows included, with "skipped": true), one
 /// object per row: problem, algo, family, nodes, edges, rounds, status, ok,
-/// skipped, note?, error?, repeat, wall_ns_min, wall_ns_median, threads.
+/// skipped, note?, error?, repeat, wall_ns_min, wall_ns_median.
 /// Strings are escaped, so quotes/backslashes/control characters in names
-/// or error messages cannot corrupt the output.
+/// or error messages cannot corrupt the output. The exact byte layout is
+/// pinned by the golden-snapshot test (tests/sweep_json_test.cpp); changing
+/// it means regenerating the committed fixture.
 [[nodiscard]] std::string to_json(const SweepOutcome& outcome);
 
 }  // namespace padlock

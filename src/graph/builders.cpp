@@ -331,6 +331,18 @@ Graph family(const std::string& name, std::size_t n, int degree,
                               "'; expected one of:" + known);
 }
 
+FamilyKey canonical_key(const std::string& name, std::size_t n, int degree,
+                        std::uint64_t seed) {
+  // Keep this in sync with family(): the key must collapse exactly the
+  // parameters family() ignores, nothing more.
+  if (name == "cubic") return {"multigraph", n, 3, seed};
+  if (name == "cubic-simple") return {"regular", n, 3, seed};
+  if (name == "path" || name == "cycle" || name == "tree" || name == "torus") {
+    return {name, n, 0, 0};
+  }
+  return {name, n, degree, seed};
+}
+
 std::vector<std::size_t> size_ramp(std::size_t lo, std::size_t hi,
                                    double factor) {
   PADLOCK_REQUIRE(lo >= 1);

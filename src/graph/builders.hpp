@@ -82,6 +82,27 @@ Graph random_bounded_degree_simple(std::size_t n, int max_deg, double density,
 Graph family(const std::string& name, std::size_t n, int degree,
              std::uint64_t seed);
 
+/// Canonical identity of a family instance — the key of the sweep-wide
+/// graph cache (core/graph_cache.hpp). Two parameter tuples that provably
+/// build the same graph map to the same key:
+///   * legacy aliases collapse (cubic -> multigraph d=3, cubic-simple ->
+///     regular d=3);
+///   * parameters a family ignores are zeroed (path/cycle/tree/torus take
+///     neither degree nor seed).
+/// Unknown family names pass through untouched (they fail at build time,
+/// attributed to their row).
+struct FamilyKey {
+  std::string family;
+  std::size_t nodes = 0;
+  int degree = 0;
+  std::uint64_t seed = 0;
+
+  friend auto operator<=>(const FamilyKey&, const FamilyKey&) = default;
+};
+
+[[nodiscard]] FamilyKey canonical_key(const std::string& name, std::size_t n,
+                                      int degree, std::uint64_t seed);
+
 /// Geometric size ramp for sweeps: lo, lo*factor, ... while <= hi (always
 /// contains lo; factor > 1).
 [[nodiscard]] std::vector<std::size_t> size_ramp(std::size_t lo,

@@ -1,0 +1,112 @@
+// Epoch-stamped flat BFS scratch — the allocation-free ball store behind
+// LocalView.
+//
+// A BallScratch owns one distance slab and one epoch slab, both indexed by
+// NodeId over the whole graph, plus two frontier buffers. A gathered ball is
+// never "cleared": starting a new ball just bumps the epoch counter, which
+// invalidates every stamp of the previous ball in O(1). Slabs grow
+// monotonically to the largest graph ever bound, so after warmup (the first
+// gather over a graph of a given size on a given thread) materializing a
+// ball performs zero heap allocation — the property the engine's
+// per-chunk reuse and the bench-scale strict mode depend on.
+//
+// Lifetime rules (see also support/thread_pool.hpp):
+//
+//  * one scratch serves one thread; run_gather keeps a thread_local scratch
+//    per pool worker, so scratches live as long as their worker and are
+//    reclaimed when the pool is re-sized;
+//  * at most one borrowed LocalView uses a scratch at a time — beginning a
+//    new ball (the next node of the chunk) invalidates the previous view's
+//    ball. The engine upholds this by construction; standalone LocalViews
+//    own a private scratch instead. A stale view that reads after its
+//    scratch was reclaimed throws ContractViolation (the view remembers
+//    the epoch its ball was built under) instead of answering from the
+//    other center's ball.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace padlock {
+
+class BallScratch {
+ public:
+  BallScratch() = default;
+
+  /// Sizes the slabs for g. Grow-only and cheap when nothing changed, so
+  /// the engine calls it once per chunk and views call it defensively.
+  void bind(const Graph& g) {
+    if (g.num_nodes() > dist_.size()) {
+      dist_.resize(g.num_nodes());
+      stamp_.resize(g.num_nodes(), 0);
+      ++growths_;
+    }
+  }
+
+  /// How many times bind() had to grow the slabs — the allocation-counting
+  /// test hook asserting "zero per-node allocation after warmup".
+  [[nodiscard]] std::size_t slab_growths() const { return growths_; }
+  /// Current slab size in nodes (max num_nodes ever bound).
+  [[nodiscard]] std::size_t slab_capacity() const { return dist_.size(); }
+
+ private:
+  friend class LocalView;
+
+  /// Starts a new ball at `center`: O(1) epoch bump, previous ball gone.
+  void begin(NodeId center) {
+    if (++epoch_ == 0) {  // epoch wrap: stale stamps could alias; hard reset
+      std::fill(stamp_.begin(), stamp_.end(), std::uint32_t{0});
+      epoch_ = 1;
+    }
+    stamp_[center] = epoch_;
+    dist_[center] = 0;
+    frontier_.clear();
+    frontier_.push_back(center);
+    materialized_radius_ = 0;
+  }
+
+  /// BFS until the ball covers radius r (no-op if it already does).
+  void grow_to(const Graph& g, int r) {
+    while (materialized_radius_ < r) {
+      if (frontier_.empty()) {  // whole component gathered
+        materialized_radius_ = r;
+        break;
+      }
+      next_.clear();
+      for (const NodeId u : frontier_) {
+        for (const HalfEdge h : g.incident(u)) {
+          const NodeId w = g.node_across(h);
+          if (stamp_[w] != epoch_) {
+            stamp_[w] = epoch_;
+            dist_[w] = materialized_radius_ + 1;
+            next_.push_back(w);
+          }
+        }
+      }
+      frontier_.swap(next_);
+      ++materialized_radius_;
+    }
+  }
+
+  [[nodiscard]] bool contains(NodeId v) const {
+    return v < stamp_.size() && stamp_[v] == epoch_;
+  }
+  /// Only valid when contains(v).
+  [[nodiscard]] int dist_of(NodeId v) const {
+    return static_cast<int>(dist_[v]);
+  }
+  [[nodiscard]] int materialized_radius() const {
+    return materialized_radius_;
+  }
+
+  std::vector<std::int32_t> dist_;    // flat distance slab
+  std::vector<std::uint32_t> stamp_;  // dist_[v] valid iff stamp_[v]==epoch_
+  std::vector<NodeId> frontier_, next_;
+  std::uint32_t epoch_ = 0;
+  int materialized_radius_ = -1;
+  std::size_t growths_ = 0;
+};
+
+}  // namespace padlock

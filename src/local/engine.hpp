@@ -7,8 +7,10 @@
 // owns round accounting.
 //
 // Execution is thread-pooled (support/thread_pool.hpp): nodes are
-// partitioned into chunks and gathered concurrently, each node with its own
-// LocalView scratch. Because `fn` may only write per-node slots of
+// partitioned into chunks and gathered concurrently. Each worker keeps one
+// thread_local BallScratch (ball_scratch.hpp) that every node of its chunks
+// borrows in turn, so after warmup a gather performs zero per-node heap
+// allocation. Because `fn` may only write per-node slots of
 // caller-owned maps, the parallel run is bit-identical to the serial one;
 // with exec_context().threads == 1 (the default) the loop *is* the old
 // serial loop. Gather callables must therefore be safe to invoke
@@ -57,7 +59,25 @@ struct RoundReport {
 using GatherFn = std::function<void(LocalView&, NodeId)>;
 
 /// Runs `fn` once per node with a fresh LocalView and collects radii,
-/// dispatching node chunks across the global thread pool.
+/// dispatching node chunks across the global thread pool. Views borrow the
+/// calling worker's thread_local BallScratch, so repeated gathers reuse the
+/// same slabs (zero per-node allocation after warmup).
 RoundReport run_gather(const Graph& g, ViewMode mode, const GatherFn& fn);
+
+/// The calling thread's gather scratch (the one run_gather's chunks borrow
+/// when they execute on this thread). Exposed for tests and for workloads
+/// that drive LocalViews by hand but still want the pooled scratch.
+[[nodiscard]] BallScratch& gather_scratch();
+
+/// Allocation-counting test hook: slab statistics of the calling thread's
+/// gather scratch. With exec_context().threads == 1 every chunk runs on the
+/// calling thread, so asserting `slab_growths` stays flat across gathers
+/// proves run_gather does no per-node (or even per-run) slab allocation
+/// after warmup.
+struct GatherScratchStats {
+  std::size_t slab_growths = 0;
+  std::size_t slab_capacity = 0;
+};
+[[nodiscard]] GatherScratchStats gather_scratch_stats();
 
 }  // namespace padlock

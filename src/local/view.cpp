@@ -5,7 +5,17 @@
 namespace padlock {
 
 LocalView::LocalView(const Graph& g, NodeId center, ViewMode mode)
-    : g_(g), center_(center), mode_(mode) {
+    : g_(g),
+      center_(center),
+      mode_(mode),
+      owned_(std::make_unique<BallScratch>()),
+      scratch_(owned_.get()) {
+  PADLOCK_REQUIRE(center < g.num_nodes());
+}
+
+LocalView::LocalView(const Graph& g, NodeId center, ViewMode mode,
+                     BallScratch& scratch)
+    : g_(g), center_(center), mode_(mode), scratch_(&scratch) {
   PADLOCK_REQUIRE(center < g.num_nodes());
 }
 
@@ -15,50 +25,53 @@ void LocalView::extend(int r) {
 }
 
 void LocalView::materialize() const {
-  if (materialized_radius_ < 0) {
-    ball_.clear();
-    ball_.emplace(center_, 0);
-    frontier_ = {center_};
-    materialized_radius_ = 0;
+  if (!ball_started_) {
+    scratch_->bind(g_);
+    scratch_->begin(center_);
+    ball_epoch_ = scratch_->epoch_;
+    ball_started_ = true;
+  } else if (scratch_->epoch_ != ball_epoch_) {
+    // Another view began a ball on the shared scratch since this view
+    // materialized; its distances would be silently wrong. Diagnose the
+    // lifetime-rule violation instead (see ball_scratch.hpp).
+    contract_failure("locality",
+                     "stale LocalView: another view reclaimed the shared "
+                     "BallScratch",
+                     __FILE__, __LINE__);
   }
-  while (materialized_radius_ < radius_) {
-    std::vector<NodeId> next;
-    for (NodeId u : frontier_) {
-      for (int p = 0; p < g_.degree(u); ++p) {
-        const NodeId w = g_.neighbor(u, p);
-        if (ball_.emplace(w, materialized_radius_ + 1).second)
-          next.push_back(w);
-      }
-    }
-    frontier_ = std::move(next);
-    ++materialized_radius_;
-  }
+  scratch_->grow_to(g_, radius_);
+}
+
+bool LocalView::in_ball(NodeId v) const {
+  return v < g_.num_nodes() && scratch_->contains(v);
+}
+
+bool LocalView::ports_in_ball(NodeId v) const {
+  return in_ball(v) && scratch_->dist_of(v) < radius_;
 }
 
 int LocalView::dist(NodeId v) const {
   materialize();
-  const auto it = ball_.find(v);
-  PADLOCK_REQUIRE(it != ball_.end());
-  return it->second;
+  PADLOCK_REQUIRE(in_ball(v));
+  return scratch_->dist_of(v);
 }
 
 bool LocalView::knows_node(NodeId v) const {
   if (mode_ == ViewMode::kAudit) return true;
   materialize();
-  return ball_.contains(v);
+  return in_ball(v);
 }
 
 bool LocalView::knows_ports(NodeId v) const {
   if (mode_ == ViewMode::kAudit) return true;
   materialize();
-  const auto it = ball_.find(v);
-  return it != ball_.end() && it->second < radius_;
+  return ports_in_ball(v);
 }
 
 void LocalView::check_node(NodeId v) const {
   if (mode_ == ViewMode::kAudit) return;
   materialize();
-  if (!ball_.contains(v))
+  if (!in_ball(v))
     contract_failure("locality", "read of node outside gathered ball",
                      __FILE__, __LINE__);
 }
@@ -66,8 +79,7 @@ void LocalView::check_node(NodeId v) const {
 void LocalView::check_ports(NodeId v) const {
   if (mode_ == ViewMode::kAudit) return;
   materialize();
-  const auto it = ball_.find(v);
-  if (it == ball_.end() || it->second >= radius_)
+  if (!ports_in_ball(v))
     contract_failure("locality", "read of ports outside gathered ball",
                      __FILE__, __LINE__);
 }
@@ -77,11 +89,7 @@ void LocalView::check_edge(EdgeId e) const {
   materialize();
   // An edge is known iff one endpoint lies strictly inside the ball.
   const auto [u, v] = g_.endpoints(e);
-  const auto iu = ball_.find(u);
-  const auto iv = ball_.find(v);
-  const bool ok = (iu != ball_.end() && iu->second < radius_) ||
-                  (iv != ball_.end() && iv->second < radius_);
-  if (!ok)
+  if (!ports_in_ball(u) && !ports_in_ball(v))
     contract_failure("locality", "read of edge outside gathered ball",
                      __FILE__, __LINE__);
 }

@@ -9,23 +9,35 @@
 //   * node data (id, degree, input label) of v — needs radius >= dist(v);
 //   * ports/edges of v (and hence v's neighbors) — needs radius >= dist(v)+1.
 //
-// Two accounting modes share the same algorithm code:
+// Two accounting modes share the same algorithm code AND the same ball
+// machinery — an epoch-stamped flat distance slab (BallScratch) over the
+// graph's CSR port slab, instead of the per-ball hash map this layer
+// started with:
 //
-//   * Strict  — the view materializes the BFS ball and *throws
-//     ContractViolation* on any read outside it. Used in tests; proves
-//     algorithms are genuinely local.
-//   * Audit   — reads pass through unchecked, but the requested radius is
-//     still recorded. Used at bench scale where materializing every ball
-//     would be Θ(n · ball) work. Tests assert Strict ≡ Audit on small
-//     instances (same outputs, same radii).
+//   * Strict  — every read materializes the BFS ball into the scratch (a
+//     no-op after the first read at the current radius) and *throws
+//     ContractViolation* on any read outside it. Used in tests and at bench
+//     scale now that a ball costs flat-array scans instead of hash-map
+//     allocation churn; proves algorithms are genuinely local.
+//   * Audit   — reads pass through unchecked and never touch the ball, but
+//     the requested radius is still recorded. `dist` is the one audit-mode
+//     query that needs the ball; it runs the same scratch scan as strict
+//     mode (no separate hash path). Tests assert Strict ≡ Audit (same
+//     outputs, same per-node radii) across the whole registry.
+//
+// Views either borrow a caller-owned BallScratch (the engine path: one
+// thread_local scratch per pool worker, reused across every node of a
+// chunk, zero allocation after warmup) or own a private one (the
+// standalone/test path). See ball_scratch.hpp for the lifetime rules.
 //
 // The per-node round cost of a gather algorithm is the final `radius()` of
 // its view; an engine run reports max over nodes, which is the LOCAL time.
 #pragma once
 
-#include <unordered_map>
+#include <memory>
 
 #include "graph/graph.hpp"
+#include "local/ball_scratch.hpp"
 
 namespace padlock {
 
@@ -33,7 +45,13 @@ enum class ViewMode { kStrict, kAudit };
 
 class LocalView {
  public:
+  /// Standalone view with a private scratch (allocates; tests, one-offs).
   LocalView(const Graph& g, NodeId center, ViewMode mode);
+  /// Borrows `scratch` (the engine path; see ball_scratch.hpp lifetime
+  /// rules — constructing the next borrowing view invalidates this one's
+  /// ball).
+  LocalView(const Graph& g, NodeId center, ViewMode mode,
+            BallScratch& scratch);
 
   [[nodiscard]] NodeId center() const { return center_; }
   [[nodiscard]] int radius() const { return radius_; }
@@ -44,10 +62,9 @@ class LocalView {
   /// operation that costs communication rounds.
   void extend(int r);
 
-  /// Distance from the center to v if v is inside the gathered ball.
-  /// Strict mode: throws when v is outside. Audit mode: unchecked reads
-  /// never call this (it requires ball materialization), so it materializes
-  /// on demand — audit-mode algorithms should prefer the checked accessors.
+  /// Distance from the center to v if v is inside the gathered ball; throws
+  /// when v is outside (both modes — it is a ball-membership query, not a
+  /// locality check). Runs the shared flat scratch scan in both modes.
   [[nodiscard]] int dist(NodeId v) const;
 
   /// True iff the node's data (id/degree/input) is within the view.
@@ -107,16 +124,23 @@ class LocalView {
   void check_node(NodeId v) const;
   void check_ports(NodeId v) const;
   void check_edge(EdgeId e) const;
+  /// Ensures the scratch holds this view's ball out to radius(). First call
+  /// claims the scratch (epoch bump); later calls only grow the BFS.
   void materialize() const;
+  [[nodiscard]] bool in_ball(NodeId v) const;
+  [[nodiscard]] bool ports_in_ball(NodeId v) const;
 
   const Graph& g_;
   NodeId center_;
   ViewMode mode_;
   int radius_ = 0;
-  // Strict mode: BFS distances of the gathered ball (lazy, grown by extend).
-  mutable std::unordered_map<NodeId, int> ball_;
-  mutable std::vector<NodeId> frontier_;
-  mutable int materialized_radius_ = -1;
+  std::unique_ptr<BallScratch> owned_;  // standalone constructor only
+  BallScratch* scratch_;                // never null
+  mutable bool ball_started_ = false;
+  // Epoch the scratch held when this view began its ball; a mismatch on a
+  // later read means another view reclaimed the scratch (diagnosed as a
+  // contract violation instead of returning another center's distances).
+  mutable std::uint32_t ball_epoch_ = 0;
 };
 
 }  // namespace padlock

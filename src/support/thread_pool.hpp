@@ -27,6 +27,14 @@
 // Nesting is safe by construction: a parallel_for issued from inside a pool
 // worker runs inline on that worker (so an outer batch of runs can freely
 // call the parallel checker without deadlocking the pool).
+//
+// Worker-lifetime scratch: layers that need warm per-thread buffers (the
+// gather engine's thread_local BallScratch, local/ball_scratch.hpp) key
+// them on the worker thread via `thread_local`. Workers persist across
+// parallel_for calls, so such scratch stays warm for a whole sweep; when
+// exec_context().threads changes the pool is rebuilt, the old workers exit,
+// and their thread_local scratch is reclaimed by the usual thread-exit
+// destructors — no registry of scratches to invalidate.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,137 @@
+// Golden-snapshot test for the sweep JSON emitter plus the cached ≡
+// uncached bit-identity property of run_batch.
+//
+// The fixture tests/data/sweep_golden.json is the committed canonical
+// byte-for-byte output of SweepOutcome::to_json for a small, serial,
+// seed-pinned plan (wall-clock fields normalized to 0 — everything else,
+// including the cache-hit fields and the skipped-row encoding, is pinned).
+// Any emitter drift fails here; deliberate format changes regenerate the
+// fixture with PADLOCK_REGEN_GOLDEN=1.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/graph_cache.hpp"
+#include "core/runner.hpp"
+#include "support/thread_pool.hpp"
+
+namespace padlock {
+namespace {
+
+#ifndef PADLOCK_TEST_DATA_DIR
+#error "PADLOCK_TEST_DATA_DIR must point at tests/data (set by CMake)"
+#endif
+
+std::string golden_path() {
+  return std::string(PADLOCK_TEST_DATA_DIR) + "/sweep_golden.json";
+}
+
+// The pinned plan: two pairs × three menu entries, one of them a duplicate
+// (so the cache-hit field is nonzero) and one skipping a pair (so the
+// skipped encoding is pinned too). Serial and seed-pinned, hence
+// deterministic up to wall clock.
+ExecutionPlan golden_plan() {
+  ExecutionPlan plan;
+  plan.pairs = {{"mis", "luby"}, {"3-coloring", "cole-vishkin"}};
+  plan.graphs = {{"cycle", 24, 3, 7},
+                 {"cycle", 24, 3, 7},   // duplicate: a guaranteed cache hit
+                 {"regular", 24, 3, 7}};  // cole-vishkin skips here
+  plan.options.seed = 11;
+  plan.repeat = 2;
+  plan.threads = 1;
+  return plan;
+}
+
+// Wall-clock fields are the only nondeterministic bytes; zero them.
+void normalize_walls(SweepOutcome& outcome) {
+  outcome.wall_ns = 0;
+  for (SweepRow& row : outcome.rows) {
+    row.wall_ns_min = 0;
+    row.wall_ns_median = 0;
+  }
+}
+
+TEST(SweepJson, MatchesCommittedGoldenSnapshot) {
+  GraphCache::instance().clear();  // pin the hit/miss counts of the batch
+  SweepOutcome outcome = run_batch(golden_plan());
+  ASSERT_TRUE(outcome.all_ok());
+  EXPECT_GE(outcome.cache_hits, 1u);
+  normalize_walls(outcome);
+  const std::string json = to_json(outcome);
+
+  if (std::getenv("PADLOCK_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << json;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << golden_path()
+                         << " (regenerate with PADLOCK_REGEN_GOLDEN=1)";
+  std::ostringstream fixture;
+  fixture << in.rdbuf();
+  EXPECT_EQ(json, fixture.str())
+      << "sweep JSON drifted from the committed fixture; if the change is "
+         "deliberate, regenerate with PADLOCK_REGEN_GOLDEN=1";
+}
+
+TEST(SweepCache, CachedRunBitIdenticalToUncached) {
+  GraphCache::instance().clear();
+  ExecutionPlan plan = golden_plan();
+
+  SweepOutcome cached = run_batch(plan);
+  plan.use_cache = false;
+  SweepOutcome uncached = run_batch(plan);
+
+  // The repeated menu row must be served by the cache ...
+  EXPECT_TRUE(cached.cached);
+  EXPECT_GE(cached.cache_hits, 1u);
+  EXPECT_FALSE(uncached.cached);
+  EXPECT_EQ(uncached.cache_hits, 0u);
+  EXPECT_EQ(uncached.cache_misses, 0u);
+
+  // ... without perturbing a single result byte: after normalizing the
+  // wall clocks and the cache counters themselves, the two JSON renderings
+  // are identical.
+  normalize_walls(cached);
+  normalize_walls(uncached);
+  for (SweepOutcome* o : {&cached, &uncached}) {
+    o->cached = false;
+    o->cache_hits = 0;
+    o->cache_misses = 0;
+  }
+  EXPECT_EQ(to_json(cached), to_json(uncached));
+}
+
+// Degenerate capacities stay safe: at capacity 0 the freshly built entry
+// is evicted immediately, and the caller still gets a valid instance.
+TEST(SweepCache, ZeroCapacityCacheStillServesBuilds) {
+  GraphCache cache;  // private instance; leaves the process cache alone
+  cache.set_capacity(0);
+  bool hit = true;
+  const auto g = cache.get_or_build("cycle", 12, 3, 1, &hit);
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(g->num_nodes(), 12u);
+  EXPECT_EQ(cache.size(), 0u);  // evicted on insert
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+// A second batch over the same menu is served entirely from the cache.
+TEST(SweepCache, CrossBatchReuseServesWholeMenu) {
+  GraphCache::instance().clear();
+  const ExecutionPlan plan = golden_plan();
+  const SweepOutcome first = run_batch(plan);
+  const SweepOutcome second = run_batch(plan);
+  EXPECT_GE(first.cache_misses, 1u);
+  EXPECT_EQ(second.cache_misses, 0u);
+  EXPECT_EQ(second.cache_hits,
+            static_cast<std::uint64_t>(plan.graphs.size()));
+}
+
+}  // namespace
+}  // namespace padlock
