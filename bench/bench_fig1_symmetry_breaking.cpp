@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: the log*-band rows are flat or creep by O(1)\n"
       "(their log* / O(log n)-bit schedules barely notice n); the ruling-\n"
-      "set row grows linearly in log n (2 rounds per id bit), and the\n"
+      "set row grows linearly in log n (one round per id bit), and the\n"
       "sinkless-orientation row climbs with log n — the two bands of\n"
       "Figure 1 between constant and logarithmic.\n");
   return failures == 0 ? 0 : 1;

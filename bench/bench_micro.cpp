@@ -13,6 +13,7 @@
 // across commits; the total wall line at the end is the number to compare
 // across --threads settings (the sweep parallelizes across runs, so
 // --threads $(nproc) vs --threads 1 measures the pool's scaling).
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "algo/luby_mis.hpp"
+#include "algo/matching.hpp"
 #include "core/graph_cache.hpp"
 #include "core/padded_graph.hpp"
 #include "core/registry.hpp"
@@ -34,11 +37,42 @@
 #include "lcl/checker.hpp"
 #include "lcl/problems/sinkless_orientation.hpp"
 #include "local/engine.hpp"
+#include "local/message_engine.hpp"
+#include "local/message_engine_v1.hpp"
 #include "support/table.hpp"
 
 using namespace padlock;
 
 namespace {
+
+// The engine-bound ramp rule: one word per port per round, an add per
+// message, and a halting schedule that halves the frontier every round —
+// the Luby/propose-accept decay regime the active-set engine is built
+// for. The rule itself does almost no per-node work, so the v1/v2 row
+// pair isolates the executors (O(active) frontier + flat slabs vs all-n
+// rescans + per-node optional inboxes) rather than any algorithm.
+struct GeometricHalt {
+  using Message = std::uint64_t;
+  std::vector<std::uint64_t> acc;
+  std::vector<std::int32_t> halt_round;
+  std::vector<std::uint8_t> halted;
+
+  explicit GeometricHalt(std::size_t n)
+      : acc(n, 1), halt_round(n, 1), halted(n, 0) {
+    for (std::size_t v = 0; v < n; ++v)
+      halt_round[v] = 1 + std::countr_one(static_cast<unsigned>(v));
+  }
+  std::optional<Message> send(NodeId v, int, int) { return acc[v]; }
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
+    std::uint64_t s = acc[v];
+    for (const auto& m : inbox)
+      if (m) s += *m;
+    acc[v] = s + static_cast<std::uint64_t>(round);
+    if (round >= halt_round[v]) halted[v] = 1;
+  }
+  bool done(NodeId v) const { return halted[v] != 0; }
+};
 
 // Substrate hot paths as scenario tasks. Setup (instance construction) is
 // hoisted into shared_ptr captures at task-creation time so each timed
@@ -72,6 +106,64 @@ std::vector<ScenarioTask> substrate_scenarios() {
              row.nodes = g->num_nodes();
              row.rounds = rep.rounds;
            }});
+    }
+  }
+  // The message-engine size ramp (n=2^12..2^16, cycle+regular): the
+  // engine-bound geometric-halt rule plus the two deepest migrated state
+  // machines (Luby, propose-accept matching) through engine v2, and the
+  // same three rules through the retired v1 executor at n=2^14 — the
+  // reference pair the v1→v2 win is measured against. The geometric-halt
+  // pair is the engine gauge (its rule costs nothing, so the ratio is
+  // pure executor overhead); the luby/matching pairs show the end-to-end
+  // win, bounded by each algorithm's own per-node compute.
+  for (const char* family : {"cycle", "regular"}) {
+    for (int exp = 12; exp <= 16; ++exp) {
+      const std::size_t n = std::size_t{1} << exp;
+      const auto g = GraphCache::instance().get_or_build(family, n, 3, 13);
+      const auto ids = std::make_shared<IdMap>(shuffled_ids(*g, 5));
+      const std::string suffix =
+          "/" + std::string(family) + "/n=" + std::to_string(n);
+      tasks.push_back({"engine/v2/geometric-halt" + suffix,
+                       [g](SweepRow& row) {
+                         GeometricHalt alg(g->num_nodes());
+                         row.rounds = run_message_rounds(
+                             *g, alg, static_cast<std::int64_t>(64));
+                         row.nodes = g->num_nodes();
+                       }});
+      tasks.push_back({"engine/v2/luby" + suffix,
+                       [g, ids](SweepRow& row) {
+                         const auto res = luby_mis(*g, *ids, 7);
+                         row.nodes = g->num_nodes();
+                         row.rounds = res.rounds;
+                       }});
+      tasks.push_back({"engine/v2/matching" + suffix,
+                       [g, ids](SweepRow& row) {
+                         const auto res = randomized_matching(*g, *ids, 7);
+                         row.nodes = g->num_nodes();
+                         row.rounds = res.rounds;
+                       }});
+      if (exp == 14) {
+        tasks.push_back({"engine/v1/geometric-halt" + suffix,
+                         [g](SweepRow& row) {
+                           GeometricHalt alg(g->num_nodes());
+                           row.rounds = run_message_rounds_v1(
+                               *g, alg, static_cast<std::int64_t>(64));
+                           row.nodes = g->num_nodes();
+                         }});
+        tasks.push_back({"engine/v1/luby" + suffix,
+                         [g, ids](SweepRow& row) {
+                           const auto res = luby_mis_v1(*g, *ids, 7);
+                           row.nodes = g->num_nodes();
+                           row.rounds = res.rounds;
+                         }});
+        tasks.push_back({"engine/v1/matching" + suffix,
+                         [g, ids](SweepRow& row) {
+                           const auto res =
+                               randomized_matching_v1(*g, *ids, 7);
+                           row.nodes = g->num_nodes();
+                           row.rounds = res.rounds;
+                         }});
+      }
     }
   }
   for (const std::size_t n : {std::size_t{1} << 10, std::size_t{1} << 14}) {

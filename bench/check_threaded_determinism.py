@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Threaded-determinism gate: assert that a threaded bench_micro run
+produced the same sweep rows as the serial run.
+
+Wall-clock fields differ by design; what must be identical row by row is
+the workload identity (problem, algo, family, nodes, edges) and the
+deterministic outcome fields (status, rounds). A mismatch means the pooled
+execution path (engine v2 phases, run_gather, check_ne_lcl, run_batch)
+diverged from the serial one — exactly the bit-identity contract the
+thread pool promises.
+
+Usage: check_threaded_determinism.py SERIAL.json THREADED.json
+Exit codes: 0 identical, 1 divergence, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+IDENTITY = ("problem", "algo", "family", "nodes", "edges")
+OUTCOME = ("status", "rounds")
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "rows" not in doc:
+        raise ValueError(f"{path}: expected a sweep object with a 'rows' key")
+    return doc["rows"]
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        serial = load_rows(sys.argv[1])
+        threaded = load_rows(sys.argv[2])
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"determinism-gate: {err}", file=sys.stderr)
+        return 2
+
+    if len(serial) != len(threaded):
+        print(f"determinism-gate: row count differs: {len(serial)} serial "
+              f"vs {len(threaded)} threaded", file=sys.stderr)
+        return 1
+
+    divergent = 0
+    for i, (a, b) in enumerate(zip(serial, threaded)):
+        for key in IDENTITY + OUTCOME:
+            if a.get(key) != b.get(key):
+                name = a.get("problem", "?")
+                if a.get("algo"):
+                    name += "/" + a["algo"]
+                print(f"determinism-gate: row {i} ({name} "
+                      f"@{a.get('family', '')} n={a.get('nodes', 0)}): "
+                      f"{key} {a.get(key)!r} serial vs {b.get(key)!r} "
+                      f"threaded")
+                divergent += 1
+                break
+
+    print(f"determinism-gate: {len(serial)} rows compared, "
+          f"{divergent} divergent")
+    if divergent:
+        return 1
+    print("determinism-gate: threaded rows identical to serial")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,16 +86,17 @@ ColeVishkinResult cole_vishkin_3color(const Graph& g, const IdMap& ids,
     color[v] = ids[v];
   }
   int rounds = 0;
+  // Run-scoped buffers, reused across rounds (the old code allocated up to
+  // three fresh vectors per round).
+  std::vector<std::uint64_t> succ(n), succ2(n), next(n);
   auto successor_colors = [&] {
-    std::vector<std::uint64_t> succ(n);
     for (NodeId v = 0; v < n; ++v) succ[v] = color[successor(v)];
-    return succ;
   };
 
   // Phase 1: the fixed schedule of bit reductions (a function of id_space,
   // so all nodes agree on its length without communication).
   for (int it = 0; it < iters; ++it) {
-    const auto succ = successor_colors();
+    successor_colors();
     for (NodeId v = 0; v < n; ++v) color[v] = cv_reduce(color[v], succ[v]);
     ++rounds;
   }
@@ -108,10 +109,8 @@ ColeVishkinResult cole_vishkin_3color(const Graph& g, const IdMap& ids,
   // the successor's shifted color is the successor's successor's pre-shift
   // color, which travels in the same round's message (pairs of colors).
   for (std::uint64_t target = 5; target >= 3; --target) {
-    const auto succ = successor_colors();
-    std::vector<std::uint64_t> succ2(n);
+    successor_colors();
     for (NodeId v = 0; v < n; ++v) succ2[v] = succ[successor(v)];
-    std::vector<std::uint64_t> next(n);
     for (NodeId v = 0; v < n; ++v) {
       std::uint64_t c = succ[v];  // shift down
       if (c == target) {
@@ -127,7 +126,7 @@ ColeVishkinResult cole_vishkin_3color(const Graph& g, const IdMap& ids,
       }
       next[v] = c;
     }
-    color = std::move(next);
+    std::swap(color, next);
     ++rounds;
   }
 

@@ -1,16 +1,68 @@
 #include "algo/color_reduce.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "core/registry.hpp"
 #include "lcl/problems/coloring.hpp"
+#include "local/message_engine.hpp"
 #include "support/check.hpp"
 
 #include <unordered_set>
 #include <vector>
-#include <vector>
 
 namespace padlock {
+
+namespace {
+
+/// Engine-v2 state machine of the schedule-by-class reduction: a node acts
+/// in the round equal to its input color, picking the smallest palette
+/// color no finalized neighbor holds, and broadcasts that choice exactly
+/// once (its drain round). Receivers *remember* arrived colors in a flat
+/// per-node mask, so no re-broadcast is ever needed — silence from a
+/// long-halted neighbor carries the same information as its last message.
+struct ColorReduceAlg {
+  using Message = std::int32_t;  // the sender's freshly-final color
+
+  const NodeMap<int>& input;
+  int palette;
+  NodeMap<int>& out;                // 0 = undecided (doubles as done-bit)
+  std::vector<std::uint8_t> used;   // node-major [n][palette + 1] mask
+
+  ColorReduceAlg(const Graph& g, const NodeMap<int>& input_in,
+                 int palette_in, NodeMap<int>& out_in)
+      : input(input_in), palette(palette_in), out(out_in),
+        used(g.num_nodes() * (static_cast<std::size_t>(palette_in) + 1), 0) {}
+
+  std::optional<Message> send(NodeId v, int /*port*/, int /*round*/) {
+    if (out[v] == 0) return std::nullopt;
+    return static_cast<Message>(out[v]);
+  }
+
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
+    std::uint8_t* mask =
+        used.data() + static_cast<std::size_t>(v) *
+                          (static_cast<std::size_t>(palette) + 1);
+    for (const auto& m : inbox) {
+      if (!m) continue;
+      const int nc = static_cast<int>(*m);
+      if (nc >= 1 && nc <= palette) mask[nc] = 1;
+    }
+    if (input[v] != round) return;
+    for (int cand = 1; cand <= palette; ++cand) {
+      if (mask[cand] == 0) {
+        out[v] = cand;
+        break;
+      }
+    }
+    PADLOCK_ASSERT(out[v] >= 1);
+  }
+
+  bool done(NodeId v) const { return out[v] != 0; }
+};
+
+}  // namespace
 
 ColorReduceResult reduce_to_degree_plus_one(const Graph& g,
                                             const NodeMap<int>& colors,
@@ -18,30 +70,19 @@ ColorReduceResult reduce_to_degree_plus_one(const Graph& g,
   PADLOCK_REQUIRE(colors.size() == g.num_nodes());
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     PADLOCK_REQUIRE(!g.is_self_loop(e));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    PADLOCK_REQUIRE(colors[v] >= 1 && colors[v] <= num_colors);
   const int palette = g.max_degree() + 1;
   ColorReduceResult result{NodeMap<int>(g, 0), 0};
-  // Round c: nodes of input color c pick the smallest color unused by any
-  // neighbor's already-final color. Neighbors of the same input color never
-  // exist (proper input), so the round is conflict-free.
-  for (int c = 1; c <= num_colors; ++c) {
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (colors[v] != c) continue;
-      PADLOCK_REQUIRE(colors[v] >= 1 && colors[v] <= num_colors);
-      std::vector<bool> used(static_cast<std::size_t>(palette) + 1, false);
-      for (int p = 0; p < g.degree(v); ++p) {
-        const int nc = result.colors[g.neighbor(v, p)];
-        if (nc >= 1 && nc <= palette) used[static_cast<std::size_t>(nc)] = true;
-      }
-      for (int cand = 1; cand <= palette; ++cand) {
-        if (!used[static_cast<std::size_t>(cand)]) {
-          result.colors[v] = cand;
-          break;
-        }
-      }
-      PADLOCK_ASSERT(result.colors[v] >= 1);
-    }
-    ++result.rounds;
-  }
+  ColorReduceAlg alg(g, colors, palette, result.colors);
+  // The engine stops once the largest *present* input color has acted, so
+  // the round count is max(colors) rather than the schedule-length
+  // num_colors the retired serial loop always paid (unused classes at the
+  // top of the palette cost nothing).
+  const std::int64_t budget =
+      std::min<std::int64_t>(static_cast<std::int64_t>(num_colors) + 1,
+                             std::numeric_limits<int>::max());
+  result.rounds = run_message_rounds(g, alg, budget);
   return result;
 }
 

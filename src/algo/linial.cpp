@@ -3,9 +3,12 @@
 #include "core/registry.hpp"
 #include "lcl/problems/coloring.hpp"
 
+#include <array>
+#include <limits>
 #include <vector>
 
 #include "algo/color_reduce.hpp"
+#include "local/message_engine.hpp"
 #include "support/check.hpp"
 
 namespace padlock {
@@ -56,23 +59,79 @@ StepParams step_params(std::uint64_t K, int max_degree) {
   return best;
 }
 
+/// step_params caps k at 12, so coefficients fit a stack array — the
+/// per-round per-neighbor heap vectors of the retired loop are gone.
+constexpr int kMaxPolyDegree = 12;
+using Poly = std::array<std::uint64_t, kMaxPolyDegree + 1>;
+
 /// Coefficients of color c as a base-q number (degree-k polynomial).
-std::vector<std::uint64_t> poly_of(std::uint64_t c, std::uint64_t q, int k) {
-  std::vector<std::uint64_t> coeff(static_cast<std::size_t>(k) + 1, 0);
-  for (int i = 0; i <= k && c > 0; ++i) {
+void poly_of(std::uint64_t c, std::uint64_t q, int k, Poly& coeff) {
+  for (int i = 0; i <= k; ++i) {
     coeff[static_cast<std::size_t>(i)] = c % q;
     c /= q;
   }
-  return coeff;
 }
 
-std::uint64_t eval_poly(const std::vector<std::uint64_t>& coeff,
-                        std::uint64_t x, std::uint64_t q) {
+std::uint64_t eval_poly(const Poly& coeff, int k, std::uint64_t x,
+                        std::uint64_t q) {
   std::uint64_t acc = 0;
-  for (std::size_t i = coeff.size(); i-- > 0;)
-    acc = (acc * x + coeff[i]) % q;
+  for (int i = k; i >= 0; --i)
+    acc = (acc * x + coeff[static_cast<std::size_t>(i)]) % q;
   return acc;
 }
+
+/// Engine-v2 state machine of the iterated polynomial reduction: the step
+/// schedule is a pure function of (id_space, Δ), so every node runs the
+/// same precomputed round plan; each round exchanges current colors and
+/// picks the smallest evaluation point separating mine from every
+/// neighbor's polynomial.
+struct LinialAlg {
+  using Message = std::uint64_t;  // current color
+
+  const std::vector<StepParams>& schedule;
+  std::vector<std::uint64_t>& color;
+  std::vector<std::int32_t> left;  // per-node rounds remaining
+
+  LinialAlg(std::size_t n, const std::vector<StepParams>& schedule_in,
+            std::vector<std::uint64_t>& color_in)
+      : schedule(schedule_in), color(color_in),
+        left(n, static_cast<std::int32_t>(schedule_in.size())) {}
+
+  std::optional<Message> send(NodeId v, int /*port*/, int /*round*/) {
+    return color[v];
+  }
+
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
+    const StepParams sp = schedule[static_cast<std::size_t>(round) - 1];
+    Poly mine;
+    poly_of(color[v], sp.q, sp.k, mine);
+    // Pick the smallest evaluation point where my polynomial differs
+    // from every neighbor's; two distinct degree-k polynomials agree on
+    // <= k points, so <= k·Δ < q points are blocked in total.
+    std::uint64_t chosen = sp.q;  // sentinel
+    for (std::uint64_t x = 0; x < sp.q && chosen == sp.q; ++x) {
+      bool ok = true;
+      const std::uint64_t mine_at_x = eval_poly(mine, sp.k, x, sp.q);
+      for (int p = 0; p < inbox.size() && ok; ++p) {
+        const auto m = inbox[p];
+        if (!m) continue;
+        // Equal colors on an edge cannot happen (proper invariant); the
+        // guard keeps parallel-edge self-comparisons inert.
+        if (*m == color[v]) continue;
+        Poly theirs;
+        poly_of(*m, sp.q, sp.k, theirs);
+        if (eval_poly(theirs, sp.k, x, sp.q) == mine_at_x) ok = false;
+      }
+      if (ok) chosen = x;
+    }
+    PADLOCK_ASSERT(chosen < sp.q);
+    color[v] = chosen * sp.q + eval_poly(mine, sp.k, chosen, sp.q);
+    --left[v];
+  }
+
+  bool done(NodeId v) const { return left[v] == 0; }
+};
 
 }  // namespace
 
@@ -97,37 +156,22 @@ LinialResult linial_color(const Graph& g, const IdMap& ids,
   std::uint64_t K = id_space;
 
   LinialResult result;
-  // Iterate while a step still shrinks the palette. Each loop iteration is
-  // one communication round (colors exchanged with neighbors).
+  // Precompute the reduction schedule — a pure function of (id_space, Δ),
+  // iterated while a step still shrinks the palette — then run it on the
+  // message engine (one engine round per step, colors exchanged with
+  // neighbors; the coloring stays proper throughout).
+  std::vector<StepParams> schedule;
   while (linial_step_palette(K, delta) < K) {
     const StepParams sp = step_params(K, delta);
-    std::vector<std::uint64_t> next(n);
-    for (NodeId v = 0; v < n; ++v) {
-      const auto mine = poly_of(color[v], sp.q, sp.k);
-      // Pick the smallest evaluation point where my polynomial differs
-      // from every neighbor's; two distinct degree-k polynomials agree on
-      // <= k points, so <= k·Δ < q points are blocked in total.
-      std::uint64_t chosen = sp.q;  // sentinel
-      for (std::uint64_t x = 0; x < sp.q && chosen == sp.q; ++x) {
-        bool ok = true;
-        const std::uint64_t mine_at_x = eval_poly(mine, x, sp.q);
-        for (int p = 0; p < g.degree(v) && ok; ++p) {
-          const NodeId w = g.neighbor(v, p);
-          if (color[w] == color[v]) continue;  // parallel edge to self? no:
-          // equal colors on an edge cannot happen (proper invariant).
-          const auto theirs = poly_of(color[w], sp.q, sp.k);
-          if (eval_poly(theirs, x, sp.q) == mine_at_x) ok = false;
-        }
-        if (ok) chosen = x;
-      }
-      PADLOCK_ASSERT(chosen < sp.q);
-      next[v] = chosen * sp.q + eval_poly(mine, chosen, sp.q);
-    }
-    color = std::move(next);
+    PADLOCK_ASSERT(sp.k <= kMaxPolyDegree);
+    schedule.push_back(sp);
     K = sp.q * sp.q;
-    ++result.linial_rounds;
-    // Invariant: the coloring stays proper.
   }
+  LinialAlg alg(n, schedule, color);
+  result.linial_rounds = run_message_rounds(
+      g, alg, static_cast<std::int64_t>(schedule.size()) + 1);
+  PADLOCK_ASSERT(result.linial_rounds ==
+                 static_cast<int>(schedule.size()));
 
   // Final reduction: schedule the K classes greedily down to Δ+1.
   NodeMap<int> kcolors(g, 0);

@@ -1,9 +1,13 @@
 #include "algo/luby_mis.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "core/registry.hpp"
 #include "lcl/problems/mis.hpp"
 
 #include "local/message_engine.hpp"
+#include "local/message_engine_v1.hpp"
 #include "support/rng.hpp"
 
 namespace padlock {
@@ -29,20 +33,26 @@ struct LubyAlg {
     prio.assign(g.num_nodes(), 0);
   }
 
-  std::optional<Message> send(NodeId v, int /*port*/, int round) {
+  std::optional<Message> send(NodeId v, int port, int round) {
     if (round % 2 == 1) {
       if (state[v] != MisState::kUndecided) return std::nullopt;
-      // Fresh randomness each iteration, derived deterministically.
-      Rng rng(per_node_seed(seed ^ static_cast<std::uint64_t>(round),
-                            ids[v]));
-      prio[v] = rng();
+      // Fresh randomness each iteration, derived deterministically. Ports
+      // are visited in ascending order within one send phase, so the draw
+      // happens once per node per iteration, not once per port.
+      if (port == 0) {
+        Rng rng(per_node_seed(seed ^ static_cast<std::uint64_t>(round),
+                              ids[v]));
+        prio[v] = rng();
+      }
       return Message{prio[v], ids[v]};
     }
     return Message{state[v] == MisState::kIn ? 1 : 0, 0};
   }
 
-  void step(NodeId v, std::span<const std::optional<Message>> inbox,
-            int round) {
+  // Inbox-shape agnostic (engine v1 optional spans and engine v2 slab
+  // views both satisfy the optional-like per-port protocol).
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
     if (state[v] != MisState::kUndecided) return;
     if (round % 2 == 1) {
       // Join if strictly minimal among undecided neighbors (ties by id).
@@ -66,19 +76,41 @@ struct LubyAlg {
   bool done(NodeId v) const { return state[v] != MisState::kUndecided; }
 };
 
-}  // namespace
+/// Round budget shared by both engines, computed in 64-bit: the old
+/// `64 * (2 + (int)n)` overflowed signed int for n ≳ 2^25.
+std::int64_t luby_round_budget(const Graph& g) {
+  const std::int64_t budget =
+      64 * (2 + static_cast<std::int64_t>(g.num_nodes()));
+  return std::min<std::int64_t>(budget, std::numeric_limits<int>::max());
+}
 
-MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed) {
+void check_luby_preconditions(const Graph& g, const IdMap& ids) {
   PADLOCK_REQUIRE(ids_valid(g, ids));
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     PADLOCK_REQUIRE(!g.is_self_loop(e));
-  LubyAlg alg(g, ids, seed);
-  const int max_rounds = 64 * (2 + static_cast<int>(g.num_nodes()));
-  const int rounds = run_message_rounds(g, alg, max_rounds);
+}
+
+MisResult collect(const Graph& g, const LubyAlg& alg, int rounds) {
   MisResult result{NodeMap<bool>(g, false), rounds};
   for (NodeId v = 0; v < g.num_nodes(); ++v)
     result.in_set[v] = alg.state[v] == MisState::kIn;
   return result;
+}
+
+}  // namespace
+
+MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed) {
+  check_luby_preconditions(g, ids);
+  LubyAlg alg(g, ids, seed);
+  const int rounds = run_message_rounds(g, alg, luby_round_budget(g));
+  return collect(g, alg, rounds);
+}
+
+MisResult luby_mis_v1(const Graph& g, const IdMap& ids, std::uint64_t seed) {
+  check_luby_preconditions(g, ids);
+  LubyAlg alg(g, ids, seed);
+  const int rounds = run_message_rounds_v1(g, alg, luby_round_budget(g));
+  return collect(g, alg, rounds);
 }
 
 

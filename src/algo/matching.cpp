@@ -4,25 +4,363 @@
 #include "core/registry.hpp"
 #include "lcl/problems/matching.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
+#include "local/message_engine.hpp"
+#include "local/message_engine_v1.hpp"
 #include "support/rng.hpp"
 
 namespace padlock {
 
 namespace {
 
-/// Counts non-loop incident edges to unmatched neighbors and returns the
-/// ports of those candidates.
-std::vector<int> candidate_ports(const Graph& g, NodeId v,
-                                 const NodeMap<bool>& matched) {
-  std::vector<int> ports;
-  for (int p = 0; p < g.degree(v); ++p) {
-    const HalfEdge h = g.incidence(v, p);
-    if (g.is_self_loop(h.edge)) continue;
-    if (!matched[g.node_across(h)]) ports.push_back(p);
+// Shared port bookkeeping of both matching state machines: a per-port
+// "dead" byte (self-loop, or the neighbor across it announced it matched)
+// in node-major CSR order plus a live-port counter, so one node's ports
+// are one contiguous byte run. A node retires once no live port remains —
+// every neighbor is matched, so maximality cannot be improved through it.
+struct PortLiveness {
+  std::vector<std::size_t> offset;  // CSR: ports of v at [offset[v], ...)
+  std::vector<std::uint8_t> dead;
+  std::vector<std::int32_t> live;  // per-node live-port count
+
+  explicit PortLiveness(const Graph& g)
+      : offset(g.num_nodes() + 1, 0),
+        dead(2 * g.num_edges(), 0),
+        live(g.num_nodes(), 0) {
+    std::size_t at = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      offset[v] = at;
+      int count = 0;
+      for (const HalfEdge h : g.incident(v)) {
+        if (g.is_self_loop(h.edge)) dead[at] = 1;
+        else ++count;
+        ++at;
+      }
+      live[v] = count;
+    }
+    offset[g.num_nodes()] = at;
   }
-  return ports;
+
+  void kill(NodeId v, int port) {
+    std::uint8_t& d = dead[offset[v] + static_cast<std::size_t>(port)];
+    if (d == 0) {
+      d = 1;
+      --live[v];
+    }
+  }
+
+  [[nodiscard]] bool is_live(NodeId v, int port) const {
+    return dead[offset[v] + static_cast<std::size_t>(port)] == 0;
+  }
+};
+
+enum class MatchState : std::uint8_t { kActive, kMatched, kRetired };
+
+// ---- randomized propose-accept ---------------------------------------------
+//
+// Engine-v2 state machine, three rounds per iteration:
+//
+//   propose   an unmatched node picks a uniformly random live port and
+//             proposes on it (message carries its id);
+//   accept    a node with incoming proposals accepts the smallest-id
+//             proposer;
+//   confirm   a proposer whose proposal was accepted matches iff it
+//             accepted nobody itself or the acceptance was mutual (same
+//             edge); it confirms on that port while draining, which tells
+//             the acceptor to match too.
+//
+// A matched node's drain round doubles as its "matched" broadcast on every
+// other port, so neighbors prune dead ports without any extra phase. The
+// retired serial loop resolved chains of acceptances by a global
+// acceptor-index sweep — a rule no O(1)-round local algorithm can
+// implement — so outputs differ from it on acceptance chains; the result
+// is still a maximal matching (checker-verified) with the same O(log n)
+// w.h.p. iteration count, and it is what the committed golden pins.
+struct ProposeAcceptAlg {
+  struct Msg {
+    std::uint8_t type = 0;
+    std::uint64_t id = 0;
+  };
+  using Message = Msg;
+  static constexpr std::uint8_t kPropose = 1;
+  static constexpr std::uint8_t kAccept = 2;
+  static constexpr std::uint8_t kConfirm = 3;
+  static constexpr std::uint8_t kMatchedFlag = 4;
+
+  const Graph& g;
+  const IdMap& ids;
+  std::uint64_t seed;
+  PortLiveness ports;
+  std::vector<MatchState> state;
+  std::vector<std::int32_t> proposal_port;  // this iteration, -1 = none
+  std::vector<std::int32_t> accept_port;    // this iteration, -1 = none
+  std::vector<std::int32_t> matched_port;   // -1 until matched
+
+  ProposeAcceptAlg(const Graph& g_in, const IdMap& ids_in,
+                   std::uint64_t seed_in)
+      : g(g_in), ids(ids_in), seed(seed_in), ports(g_in),
+        state(g_in.num_nodes(), MatchState::kActive),
+        proposal_port(g_in.num_nodes(), -1),
+        accept_port(g_in.num_nodes(), -1),
+        matched_port(g_in.num_nodes(), -1) {}
+
+  static int phase(int round) { return (round - 1) % 3; }
+  static std::uint64_t iteration(int round) {
+    return static_cast<std::uint64_t>((round - 1) / 3) + 1;
+  }
+
+  std::optional<Message> send(NodeId v, int port, int round) {
+    if (state[v] == MatchState::kMatched) {
+      // Drain round: confirm toward the matching partner, announce the
+      // match everywhere else.
+      if (port == matched_port[v]) return Msg{kConfirm, 0};
+      return Msg{kMatchedFlag, 0};
+    }
+    if (state[v] == MatchState::kRetired) return std::nullopt;
+    switch (phase(round)) {
+      case 0: {  // propose
+        if (ports.live[v] <= 0) return std::nullopt;
+        if (proposal_port[v] == -1) {
+          // Fresh randomness per iteration; pick among live ports in port
+          // order (the analogue of the retired loop's candidate list).
+          Rng rng(per_node_seed(seed ^ iteration(round), ids[v]));
+          std::int32_t skip =
+              static_cast<std::int32_t>(rng.below(
+                  static_cast<std::uint64_t>(ports.live[v])));
+          for (int p = 0; p < g.degree(v); ++p) {
+            if (!ports.is_live(v, p)) continue;
+            if (skip == 0) {
+              proposal_port[v] = p;
+              break;
+            }
+            --skip;
+          }
+          PADLOCK_ASSERT(proposal_port[v] >= 0);
+        }
+        return port == proposal_port[v]
+                   ? std::optional<Message>(Msg{kPropose, ids[v]})
+                   : std::nullopt;
+      }
+      case 1:  // accept
+        return port == accept_port[v] ? std::optional<Message>(Msg{kAccept, 0})
+                                      : std::nullopt;
+      default:  // confirm happens from the drain path only
+        return std::nullopt;
+    }
+  }
+
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
+    // The v2 engine only steps active nodes; the guard keeps the v1
+    // oracle (which steps everyone) equivalent.
+    if (state[v] != MatchState::kActive) return;
+    // One pass over the inbox per phase: matched neighbors' one-shot
+    // announcements prune ports, and the phase's own message is picked up
+    // in the same scan (a port carries at most one message per round).
+    switch (phase(round)) {
+      case 0: {  // collect proposals
+        std::uint64_t best_id = 0;
+        for (int p = 0; p < inbox.size(); ++p) {
+          const auto m = inbox[p];
+          if (!m) continue;
+          if (m->type == kMatchedFlag) {
+            ports.kill(v, p);
+          } else if (m->type == kPropose) {
+            if (accept_port[v] == -1 || m->id < best_id) {
+              accept_port[v] = p;
+              best_id = m->id;
+            }
+          }
+        }
+        break;
+      }
+      case 1: {  // proposer side resolves
+        bool accepted = false;
+        for (int p = 0; p < inbox.size(); ++p) {
+          const auto m = inbox[p];
+          if (!m) continue;
+          if (m->type == kMatchedFlag) {
+            ports.kill(v, p);
+          } else if (m->type == kAccept && p == proposal_port[v]) {
+            accepted = true;
+          }
+        }
+        if (accepted &&
+            (accept_port[v] == -1 || accept_port[v] == proposal_port[v])) {
+          state[v] = MatchState::kMatched;
+          matched_port[v] = proposal_port[v];
+        }
+        break;
+      }
+      default: {  // acceptor side resolves; iteration state resets
+        bool confirmed = false;
+        for (int p = 0; p < inbox.size(); ++p) {
+          const auto m = inbox[p];
+          if (!m) continue;
+          if (m->type == kMatchedFlag) {
+            ports.kill(v, p);
+          } else if (m->type == kConfirm && p == accept_port[v]) {
+            confirmed = true;
+          }
+        }
+        if (confirmed) {
+          state[v] = MatchState::kMatched;
+          matched_port[v] = accept_port[v];
+        }
+        proposal_port[v] = -1;
+        accept_port[v] = -1;
+        break;
+      }
+    }
+    if (state[v] == MatchState::kActive && ports.live[v] <= 0)
+      state[v] = MatchState::kRetired;
+  }
+
+  bool done(NodeId v) const { return state[v] != MatchState::kActive; }
+};
+
+// ---- deterministic color-greedy --------------------------------------------
+//
+// Engine-v2 state machine of the schedule-by-color greedy: color classes
+// take turns (three rounds per turn); in its turn a free node grabs its
+// lowest live port, the target accepts the smallest-NodeId grabber, and
+// both drain-broadcast the match. Grabbers of one turn are never adjacent
+// (proper coloring) and never grabbed themselves, so this reproduces the
+// retired serial loop's commit order bit for bit — the golden pins it.
+struct ColorGreedyAlg {
+  struct Msg {
+    std::uint8_t type = 0;
+    NodeId grabber = kNoNode;
+  };
+  using Message = Msg;
+  static constexpr std::uint8_t kGrab = 1;
+  static constexpr std::uint8_t kAccept = 2;
+  static constexpr std::uint8_t kMatchedFlag = 3;
+
+  const Graph& g;
+  const NodeMap<int>& colors;
+  int num_colors;
+  PortLiveness ports;
+  std::vector<MatchState> state;
+  std::vector<std::int32_t> grab_port;     // this turn, -1 = none
+  std::vector<std::int32_t> matched_port;  // -1 until matched
+  std::vector<std::uint8_t> matched_as_target;
+
+  ColorGreedyAlg(const Graph& g_in, const NodeMap<int>& colors_in,
+                 int num_colors_in)
+      : g(g_in), colors(colors_in), num_colors(num_colors_in), ports(g_in),
+        state(g_in.num_nodes(), MatchState::kActive),
+        grab_port(g_in.num_nodes(), -1),
+        matched_port(g_in.num_nodes(), -1),
+        matched_as_target(g_in.num_nodes(), 0) {}
+
+  static int phase(int round) { return (round - 1) % 3; }
+  [[nodiscard]] int turn_color(int round) const {
+    return static_cast<int>(((round - 1) / 3) %
+                            static_cast<long>(num_colors)) + 1;
+  }
+
+  std::optional<Message> send(NodeId v, int port, int round) {
+    if (state[v] == MatchState::kMatched) {
+      // Drain round. A target's drain is the accept phase of its turn: it
+      // accepts on the winning port and announces everywhere else. A
+      // grabber learned of its match from that accept, so its partner is
+      // already gone — it only announces.
+      if (matched_as_target[v] != 0 && port == matched_port[v])
+        return Msg{kAccept, kNoNode};
+      return Msg{kMatchedFlag, kNoNode};
+    }
+    if (state[v] == MatchState::kRetired) return std::nullopt;
+    if (phase(round) != 0 || colors[v] != turn_color(round) ||
+        ports.live[v] <= 0) {
+      return std::nullopt;
+    }
+    if (grab_port[v] == -1) {
+      for (int p = 0; p < g.degree(v); ++p) {
+        if (ports.is_live(v, p)) {
+          grab_port[v] = p;
+          break;
+        }
+      }
+    }
+    return port == grab_port[v] ? std::optional<Message>(Msg{kGrab, v})
+                                : std::nullopt;
+  }
+
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
+    // The v2 engine only steps active nodes; the guard keeps the v1
+    // oracle (which steps everyone) equivalent.
+    if (state[v] != MatchState::kActive) return;
+    // One pass per phase: announcements prune ports, the phase's own
+    // message rides the same scan.
+    const int ph = phase(round);
+    std::int32_t best_port = -1;
+    NodeId best_grabber = kNoNode;
+    bool accepted = false;
+    for (int p = 0; p < inbox.size(); ++p) {
+      const auto m = inbox[p];
+      if (!m) continue;
+      if (m->type == kMatchedFlag) {
+        ports.kill(v, p);
+      } else if (ph == 0 && m->type == kGrab) {
+        // Targets elect the smallest-NodeId grabber.
+        if (best_port == -1 || m->grabber < best_grabber) {
+          best_port = p;
+          best_grabber = m->grabber;
+        }
+      } else if (ph == 1 && m->type == kAccept && p == grab_port[v]) {
+        accepted = true;
+      }
+    }
+    if (ph == 0 && best_port >= 0) {
+      state[v] = MatchState::kMatched;
+      matched_port[v] = best_port;
+      matched_as_target[v] = 1;
+    } else if (ph == 1) {
+      if (accepted) {
+        state[v] = MatchState::kMatched;
+        matched_port[v] = grab_port[v];
+      }
+      grab_port[v] = -1;
+    }
+    if (state[v] == MatchState::kActive && ports.live[v] <= 0)
+      state[v] = MatchState::kRetired;
+  }
+
+  bool done(NodeId v) const { return state[v] != MatchState::kActive; }
+};
+
+/// Serial post-pass: fold per-node matched ports into the edge set (each
+/// matched edge has exactly one target side in ColorGreedyAlg; for
+/// ProposeAcceptAlg both sides recorded the same edge, which is idempotent
+/// here).
+template <class Alg>
+EdgeMap<bool> collect_matching(const Graph& g, const Alg& alg) {
+  EdgeMap<bool> in_match(g, false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (alg.matched_port[v] >= 0)
+      in_match[g.incidence(v, alg.matched_port[v]).edge] = true;
+  }
+  return in_match;
+}
+
+std::int64_t clamp_budget(std::int64_t budget) {
+  return std::min<std::int64_t>(budget, std::numeric_limits<int>::max());
+}
+
+}  // namespace
+
+namespace {
+
+/// Same w.h.p. iteration budget as before (computed in 64-bit — the old
+/// `64 * (2 + (int)n)` overflowed for n ≳ 2^25), three rounds each.
+std::int64_t propose_accept_budget(const Graph& g) {
+  return clamp_budget(
+      3 * 64 * (2 + static_cast<std::int64_t>(g.num_nodes())) + 3);
 }
 
 }  // namespace
@@ -30,118 +368,35 @@ std::vector<int> candidate_ports(const Graph& g, NodeId v,
 MatchingResult randomized_matching(const Graph& g, const IdMap& ids,
                                    std::uint64_t seed) {
   PADLOCK_REQUIRE(ids_valid(g, ids));
-  MatchingResult result{EdgeMap<bool>(g, false), 0};
-  NodeMap<bool> matched(g, false);
+  ProposeAcceptAlg alg(g, ids, seed);
+  const int rounds = run_message_rounds(g, alg, propose_accept_budget(g));
+  return MatchingResult{collect_matching(g, alg), rounds};
+}
 
-  // A node retires once no unmatched non-loop neighbor remains.
-  auto live = [&](NodeId v) {
-    return !matched[v] && !candidate_ports(g, v, matched).empty();
-  };
-
-  int iter = 0;
-  while (true) {
-    bool any_live = false;
-    for (NodeId v = 0; v < g.num_nodes(); ++v)
-      if (live(v)) {
-        any_live = true;
-        break;
-      }
-    if (!any_live) break;
-    ++iter;
-    PADLOCK_REQUIRE(iter < 64 * (2 + static_cast<int>(g.num_nodes())));
-
-    // Round 1: proposals. proposal[v] = the edge v proposes along.
-    NodeMap<EdgeId> proposal(g, kNoEdge);
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (matched[v]) continue;
-      const auto ports = candidate_ports(g, v, matched);
-      if (ports.empty()) continue;
-      Rng rng(per_node_seed(seed ^ static_cast<std::uint64_t>(iter), ids[v]));
-      proposal[v] = g.incidence(v, ports[rng.below(ports.size())]).edge;
-    }
-    // Round 2: acceptance. Each unmatched node picks the incoming proposal
-    // with the smallest proposer id and the pair matches.
-    std::vector<std::pair<NodeId, EdgeId>> accepted;
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (matched[v]) continue;
-      EdgeId best = kNoEdge;
-      std::uint64_t best_id = 0;
-      for (int p = 0; p < g.degree(v); ++p) {
-        const HalfEdge h = g.incidence(v, p);
-        if (g.is_self_loop(h.edge)) continue;
-        const NodeId u = g.node_across(h);
-        if (proposal[u] != h.edge) continue;  // u proposed elsewhere
-        if (best == kNoEdge || ids[u] < best_id) {
-          best = h.edge;
-          best_id = ids[u];
-        }
-      }
-      if (best != kNoEdge) accepted.emplace_back(v, best);
-    }
-    // Commit: an edge is matched iff the acceptor accepted the proposer and
-    // neither endpoint got matched through another acceptance this round.
-    // Acceptances can collide only at the proposer (one proposal per node,
-    // one acceptance per node), so process acceptor-side first-come by id.
-    for (auto [v, e] : accepted) {
-      const NodeId u = g.endpoint(e, 0) == v ? g.endpoint(e, 1)
-                                             : g.endpoint(e, 0);
-      if (matched[v] || matched[u]) continue;
-      result.in_match[e] = true;
-      matched[v] = true;
-      matched[u] = true;
-    }
-    result.rounds += 2;
-  }
-  return result;
+MatchingResult randomized_matching_v1(const Graph& g, const IdMap& ids,
+                                      std::uint64_t seed) {
+  PADLOCK_REQUIRE(ids_valid(g, ids));
+  ProposeAcceptAlg alg(g, ids, seed);
+  // The v1 executor has no drain/retire notion: it keeps invoking matched
+  // and retired nodes, whose repeated announce/confirm sends are idempotent
+  // for every receiver — so the outputs still agree bit for bit.
+  const int rounds = run_message_rounds_v1(g, alg, propose_accept_budget(g));
+  return MatchingResult{collect_matching(g, alg), rounds};
 }
 
 MatchingResult matching_from_coloring(const Graph& g,
                                       const NodeMap<int>& colors,
                                       int num_colors) {
   PADLOCK_REQUIRE(colors.size() == g.num_nodes());
-  MatchingResult result{EdgeMap<bool>(g, false), 0};
-  NodeMap<bool> matched(g, false);
-  // Color classes take turns; a class member grabs its lowest-port free
-  // edge (propose) and the target accepts the smallest-id proposer — two
-  // rounds per class. Two same-class grabbers may target the same node, so
-  // a loser's edge is covered (the target got matched) but the loser itself
-  // may stay free with other free neighbors; each extra pass shrinks every
-  // such node's candidate set by >= 1, so at most Δ passes are needed.
-  auto has_free_free_edge = [&] {
-    for (EdgeId e = 0; e < g.num_edges(); ++e)
-      if (!g.is_self_loop(e) && !matched[g.endpoint(e, 0)] &&
-          !matched[g.endpoint(e, 1)])
-        return true;
-    return false;
-  };
-  int pass = 0;
-  while (has_free_free_edge()) {
-    PADLOCK_REQUIRE(pass++ <= g.max_degree() + 1);
-    for (int c = 1; c <= num_colors; ++c) {
-      std::vector<std::pair<NodeId, EdgeId>> grabs;
-      for (NodeId v = 0; v < g.num_nodes(); ++v) {
-        if (colors[v] != c || matched[v]) continue;
-        for (int p = 0; p < g.degree(v); ++p) {
-          const HalfEdge h = g.incidence(v, p);
-          if (g.is_self_loop(h.edge)) continue;
-          if (!matched[g.node_across(h)]) {
-            grabs.emplace_back(v, h.edge);
-            break;
-          }
-        }
-      }
-      for (auto [v, e] : grabs) {
-        const NodeId u = g.endpoint(e, 0) == v ? g.endpoint(e, 1)
-                                               : g.endpoint(e, 0);
-        if (matched[v] || matched[u]) continue;
-        result.in_match[e] = true;
-        matched[v] = true;
-        matched[u] = true;
-      }
-      result.rounds += 2;
-    }
-  }
-  return result;
+  PADLOCK_REQUIRE(num_colors >= 1);
+  ColorGreedyAlg alg(g, colors, num_colors);
+  // At most Δ+2 passes over the color schedule: a free node's candidate
+  // set shrinks every pass in which it stays unmatched.
+  const std::int64_t budget = clamp_budget(
+      3 * static_cast<std::int64_t>(num_colors) *
+          (static_cast<std::int64_t>(g.max_degree()) + 3) + 3);
+  const int rounds = run_message_rounds(g, alg, budget);
+  return MatchingResult{collect_matching(g, alg), rounds};
 }
 
 

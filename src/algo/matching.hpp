@@ -1,9 +1,10 @@
 // Maximal matching algorithms.
 //
 //  * randomized_matching: Israeli–Itai-style propose/accept — each iteration
-//    (two communication rounds) every unmatched node proposes along a random
-//    incident edge to an unmatched neighbor; proposal targets accept one
-//    proposer. O(log n) rounds w.h.p.
+//    (three communication rounds: propose, accept, confirm) every unmatched
+//    node proposes along a random live port; proposal targets accept the
+//    smallest-id proposer; a proposer that accepted nobody (or mutually)
+//    confirms. O(log n) rounds w.h.p.
 //
 //  * matching_from_coloring: deterministic reduction — given a proper
 //    k-coloring, color classes take turns greedily grabbing an incident free
@@ -29,6 +30,12 @@ struct MatchingResult {
 
 MatchingResult randomized_matching(const Graph& g, const IdMap& ids,
                                    std::uint64_t seed);
+
+/// Test/bench oracle: the same propose/accept state machine executed by the
+/// retired v1 engine (local/message_engine_v1.hpp). Bit-identical output by
+/// contract; bench_micro measures the v1→v2 win on it.
+MatchingResult randomized_matching_v1(const Graph& g, const IdMap& ids,
+                                      std::uint64_t seed);
 
 MatchingResult matching_from_coloring(const Graph& g,
                                       const NodeMap<int>& colors,

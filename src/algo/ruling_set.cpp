@@ -3,10 +3,13 @@
 #include "core/registry.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "graph/metrics.hpp"
+#include "local/message_engine.hpp"
 #include "support/check.hpp"
 
 namespace padlock {
@@ -22,15 +25,48 @@ int id_bits(std::uint64_t id_space) {
   return std::max(b, 1);
 }
 
-// True iff some node of `a` is within distance < 2 of v, i.e. v itself or a
-// neighbor of v is in `a`. (Distance-2 independence filter of AGLP.)
-bool near_set(const Graph& g, const NodeMap<bool>& a, NodeId v) {
-  if (a[v]) return true;
-  for (int p = 0; p < g.degree(v); ++p) {
-    if (a[g.neighbor(v, p)]) return true;
+/// Engine-v2 state machine of the unrolled AGLP recursion: round k merges
+/// the sibling id-prefix classes at bit position k-1. Ids are static, so
+/// each message carries (id, membership) and one exchange per level
+/// suffices: a 1-side survivor can derive locally whether a neighbor is a
+/// 0-side survivor of its own prefix class from that single message.
+struct AglpAlg {
+  using Message = std::pair<std::uint64_t, std::uint8_t>;  // (id, in_set)
+
+  const IdMap& ids;
+  std::vector<std::uint8_t> in_set;  // current-level membership
+  std::vector<std::int32_t> left;    // per-node levels remaining
+
+  AglpAlg(std::size_t n, const IdMap& ids_in, int bits)
+      : ids(ids_in), in_set(n, 1), left(n, bits) {}
+
+  std::optional<Message> send(NodeId v, int /*port*/, int /*round*/) {
+    return Message{ids[v], in_set[v]};
   }
-  return false;
-}
+
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
+    const int k = round - 1;
+    --left[v];
+    // 0-side survivors carry over unconditionally; 0-side non-members and
+    // 1-side non-members stay out.
+    if (((ids[v] >> k) & 1u) == 0 || in_set[v] == 0) return;
+    // 1-side survivors stay iff no 0-side survivor *of the same prefix
+    // class* is within distance 1 of them. The prefix comparison makes the
+    // merge local: a neighbor from a different class never interferes.
+    const std::uint64_t prefix = ids[v] >> (k + 1);
+    for (const auto& m : inbox) {
+      if (!m) continue;
+      const auto [uid, uin] = *m;
+      if (uin != 0 && ((uid >> k) & 1u) == 0 && (uid >> (k + 1)) == prefix) {
+        in_set[v] = 0;
+        return;
+      }
+    }
+  }
+
+  bool done(NodeId v) const { return left[v] == 0; }
+};
 
 }  // namespace
 
@@ -44,42 +80,11 @@ RulingSetResult ruling_set_aglp(const Graph& g, const IdMap& ids,
   res.in_set = NodeMap<bool>(n, false);
   if (n == 0) return res;
 
-  // Recursion unrolled bottom-up over bit positions: at level k (from the
-  // lowest bit upwards) every id-prefix class holds a ruling set of the
-  // subgraph induced by that class; merging two sibling classes keeps the
-  // 0-side set and filters the 1-side set against it. All classes at one
-  // level merge in parallel, costing 2 rounds (see the header).
-  //
-  // Level 0: every node is in the ruling set of its singleton id class.
-  NodeMap<bool> in_set(n, true);
-
-  for (int k = 0; k < bits; ++k) {
-    // Sibling classes at level k share id bits above position k; the bit at
-    // position k says which side a node is on.
-    NodeMap<bool> next(n, false);
-    // 0-side survivors carry over unconditionally.
-    for (NodeId v = 0; v < n; ++v) {
-      if (in_set[v] && ((ids[v] >> k) & 1u) == 0) next[v] = true;
-    }
-    // 1-side survivors stay iff no 0-side survivor *of the same prefix
-    // class* is within distance 1 of them. The prefix comparison makes the
-    // merge local: a neighbor from a different class never interferes.
-    for (NodeId v = 0; v < n; ++v) {
-      if (!in_set[v] || ((ids[v] >> k) & 1u) == 0) continue;
-      const std::uint64_t prefix = ids[v] >> (k + 1);
-      bool blocked = false;
-      if (next[v]) blocked = true;  // cannot happen (v is 1-side) — safety
-      for (int p = 0; p < g.degree(v) && !blocked; ++p) {
-        const NodeId u = g.neighbor(v, p);
-        if (next[u] && (ids[u] >> (k + 1)) == prefix) blocked = true;
-      }
-      if (!blocked) next[v] = true;
-    }
-    in_set = std::move(next);
-  }
-
-  res.in_set = std::move(in_set);
-  res.rounds = 2 * bits;
+  // Recursion unrolled bottom-up over bit positions, one engine round per
+  // level (level 0: every node rules its singleton id class).
+  AglpAlg alg(n, ids, bits);
+  res.rounds = run_message_rounds(g, alg, static_cast<std::int64_t>(bits) + 1);
+  for (NodeId v = 0; v < n; ++v) res.in_set[v] = alg.in_set[v] != 0;
   res.domination_radius = ruling_set_domination(g, res.in_set);
   return res;
 }

@@ -11,8 +11,9 @@
 // split V by the highest id bit, recurse on both halves in parallel, and
 // keep from the second half's ruling set only the nodes at distance >= 2
 // from the first half's set. This yields a (2, b)-ruling set; every level
-// of the recursion costs 2 rounds of distance checking, so the LOCAL
-// complexity is O(b) = O(log n).
+// of the recursion costs one message-engine round (ids are static, so a
+// single (id, membership) exchange resolves the merge — see AglpAlg), and
+// the LOCAL complexity is O(b) = O(log n).
 //
 // For comparison, any maximal independent set is a (2, 1)-ruling set (Luby
 // gives one in O(log n) randomized rounds); the bit-splitting set trades

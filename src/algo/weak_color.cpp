@@ -4,11 +4,80 @@
 #include "lcl/problems/weak_coloring.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "algo/linial.hpp"
+#include "local/message_engine.hpp"
 #include "support/check.hpp"
 
 namespace padlock {
+
+namespace {
+
+/// Engine-v2 state machine of the pointer-parity phase (after Linial):
+/// round 1 learns neighbor colors and sets the pointer toward a strictly
+/// smaller proper color; rounds 2..k+1 forward chain lengths; round k+2
+/// exchanges parity colors and flips unhappy sinks. All nodes share the
+/// fixed k = Δ+1 schedule, so they halt together.
+struct PointerParityAlg {
+  using Message = std::int64_t;  // round 1: proper color; then chain; then
+                                 // parity color
+
+  const NodeMap<int>& proper;      // Linial colors
+  int k;                           // chain-forwarding rounds (Δ+1)
+  std::vector<std::int32_t> pointee_port;  // -1 = sink or isolated
+  std::vector<std::int32_t> chain;
+  std::vector<std::int32_t> color;         // weak 2-coloring (1 or 2)
+  std::vector<std::uint8_t> flipped;       // repaired sinks
+  std::vector<std::int32_t> left;
+
+  PointerParityAlg(std::size_t n, const NodeMap<int>& proper_in, int k_in)
+      : proper(proper_in), k(k_in), pointee_port(n, -1), chain(n, 0),
+        color(n, 1), flipped(n, 0), left(n, k_in + 2) {}
+
+  std::optional<Message> send(NodeId v, int /*port*/, int round) {
+    if (round == 1) return static_cast<Message>(proper[v]);
+    if (round <= k + 1) return static_cast<Message>(chain[v]);
+    return static_cast<Message>(color[v]);
+  }
+
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
+    --left[v];
+    if (round == 1) {
+      // Point toward the first strictly smaller proper color in port
+      // order (any port of the minimal neighbor carries its chain value).
+      std::int64_t best = proper[v];
+      for (int p = 0; p < inbox.size(); ++p) {
+        if (inbox[p] && *inbox[p] < best) {
+          best = *inbox[p];
+          pointee_port[v] = p;
+        }
+      }
+      return;
+    }
+    if (round <= k + 1) {
+      chain[v] = pointee_port[v] < 0
+                     ? 0
+                     : static_cast<std::int32_t>(*inbox[pointee_port[v]]) + 1;
+      if (round == k + 1) color[v] = (chain[v] % 2 == 0) ? 1 : 2;
+      return;
+    }
+    // Repair round: an unhappy sink (every neighbor shares its color)
+    // flips. Sinks are independent, and no flip orphans another node
+    // (see header).
+    if (pointee_port[v] >= 0 || inbox.size() == 0) return;
+    for (const auto& m : inbox) {
+      if (m && static_cast<std::int32_t>(*m) != color[v]) return;
+    }
+    color[v] = color[v] == 1 ? 2 : 1;
+    flipped[v] = 1;
+  }
+
+  bool done(NodeId v) const { return left[v] == 0; }
+};
+
+}  // namespace
 
 WeakColorResult weak_2color(const Graph& g, const IdMap& ids,
                             std::uint64_t id_space) {
@@ -16,64 +85,26 @@ WeakColorResult weak_2color(const Graph& g, const IdMap& ids,
   WeakColorResult res;
   res.colors = NodeMap<int>(n, 1);
   if (n == 0) return res;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    PADLOCK_REQUIRE(!g.is_self_loop(e));
 
   const LinialResult lin = linial_color(g, ids, id_space);
+  // Chains strictly decrease the proper color, so they stabilize after
+  // < k+1 forwarding steps.
   const int k = g.max_degree() + 1;
 
-  // Pointers toward a strictly smaller proper color; kNoNode marks sinks
-  // (local minima) and isolated nodes.
-  NodeMap<NodeId> pointee(n, kNoNode);
+  PointerParityAlg alg(n, lin.colors, k);
+  const int engine_rounds =
+      run_message_rounds(g, alg, static_cast<std::int64_t>(k) + 3);
   for (NodeId v = 0; v < n; ++v) {
-    int best = lin.colors[v];
-    for (int p = 0; p < g.degree(v); ++p) {
-      const NodeId u = g.neighbor(v, p);
-      PADLOCK_REQUIRE(u != v);  // loop-free required
-      if (lin.colors[u] < best) {
-        best = lin.colors[u];
-        pointee[v] = u;
-      }
-    }
+    res.colors[v] = alg.color[v];
+    if (alg.pointee_port[v] < 0 && g.degree(v) > 0) ++res.sinks;
+    if (alg.flipped[v] != 0) ++res.repaired;
   }
 
-  // Chain lengths: iterate k times (chains strictly decrease the proper
-  // color, so they stabilize after < k+1 steps). In LOCAL terms each
-  // iteration is one round of forwarding the current value.
-  NodeMap<int> chain(n, 0);
-  for (int it = 0; it < k; ++it) {
-    NodeMap<int> next(n, 0);
-    for (NodeId v = 0; v < n; ++v) {
-      next[v] = pointee[v] == kNoNode ? 0 : chain[pointee[v]] + 1;
-    }
-    chain = std::move(next);
-  }
-
-  for (NodeId v = 0; v < n; ++v) {
-    res.colors[v] = (chain[v] % 2 == 0) ? 1 : 2;
-    if (pointee[v] == kNoNode && g.degree(v) > 0) ++res.sinks;
-  }
-
-  // Repair round: an unhappy sink (every neighbor colored 1) flips to 2.
-  // Sinks are independent, and no flip orphans another node (see header).
-  NodeMap<int> repaired = res.colors;
-  for (NodeId v = 0; v < n; ++v) {
-    if (pointee[v] != kNoNode || g.degree(v) == 0) continue;
-    bool has_opposite = false;
-    for (int p = 0; p < g.degree(v); ++p) {
-      if (res.colors[g.neighbor(v, p)] != res.colors[v]) {
-        has_opposite = true;
-        break;
-      }
-    }
-    if (!has_opposite) {
-      repaired[v] = res.colors[v] == 1 ? 2 : 1;
-      ++res.repaired;
-    }
-  }
-  res.colors = std::move(repaired);
-
-  // Linial + one round to learn neighbor colors + k chain rounds + one
-  // repair round.
-  res.rounds = lin.total_rounds() + 1 + k + 1;
+  // Linial, plus the engine's pointer/chain/repair schedule (one round to
+  // learn neighbor colors, k chain rounds, one repair round).
+  res.rounds = lin.total_rounds() + engine_rounds;
   return res;
 }
 

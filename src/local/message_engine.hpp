@@ -1,69 +1,250 @@
-// Synchronous message-passing engine — the round-by-round face of the LOCAL
-// model. Message size and local computation are unbounded (LOCAL), but all
-// algorithms here use small messages anyway.
+// Message engine v2 — the one synchronous round executor behind every
+// round-based algorithm of the library (the round-by-round face of the
+// LOCAL model; message size and local computation are unbounded, but all
+// algorithms here use small messages anyway).
 //
 // An algorithm models per-node state machines:
 //
 //   struct Alg {
-//     using Message = ...;                       // any regular type
+//     using Message = ...;                     // regular, cheap to copy
 //     // message to send on `port` of v this round (nullopt = silence)
 //     std::optional<Message> send(NodeId v, int port, int round);
-//     // inbox[p] = message that arrived on port p (nullopt = silence)
-//     void step(NodeId v, std::span<const std::optional<Message>> inbox,
-//               int round);
-//     bool done(NodeId v) const;                  // halted?
+//     // inbox[p] is optional-like: `if (inbox[p]) use(*inbox[p])`
+//     template <class Inbox>
+//     void step(NodeId v, const Inbox& inbox, int round);
+//     bool done(NodeId v) const;              // halted?
 //   };
 //
-// The engine delivers the message sent on port p of u across the edge to the
-// opposite endpoint's port (self-loops deliver between the loop's two ports
-// of the same node). It runs until every node is done and returns the number
-// of rounds executed.
+// The engine delivers the message sent on port p of u across the edge to
+// the opposite endpoint's port (self-loops deliver between the loop's two
+// ports of the same node) and returns the number of rounds executed.
+//
+// Execution model (what replaced the v1 executor):
+//
+//  * One flat Message slab plus a per-half-edge round-stamp slab (the
+//    presence map: a slot holds a message this round iff its stamp equals
+//    the current round), allocated once per run and reused across rounds —
+//    no per-round or per-node inbox materialization, and silence costs
+//    zero writes: an unsent port simply keeps a stale stamp, so halted
+//    nodes' slots expire into silence without any clearing pass. The send
+//    phase writes a node's own out-slots; the step phase reads the
+//    opposite slots through a zero-copy MessageInbox view. After warmup
+//    the engine performs zero heap allocations per round (pinned by
+//    tests/message_engine_test.cpp).
+//  * An active frontier instead of an O(n) `all_done` rescan: nodes leave
+//    the frontier the round they halt, so late rounds cost O(active), not
+//    O(n) — Luby/propose-accept frontiers decay geometrically.
+//  * Send and step phases are pooled over support/thread_pool.hpp with the
+//    same per-node-write discipline as run_gather (send/step for v touch
+//    only v's own state and v's own out-slots), so serial and parallel
+//    executions are bit-identical by construction.
+//
+// Halting contract (the active-set semantics): `done(v)` means v's state
+// is final and v needs at most one more send. The engine keeps a node that
+// halted in round r in the *drain* set for round r+1: it still sends (its
+// notify/confirm messages go out) but no longer steps; after round r+1 it
+// retires and its out-slots read as silence forever. Algorithms must
+// therefore (a) fold any final broadcast into the first round after
+// halting, and (b) treat silence from a long-halted neighbor as equivalent
+// to whatever it would have kept sending — true for every migrated state
+// machine (a decided Luby node matters to neighbors for exactly one round;
+// a color-reduce node's final color is remembered by its receivers).
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <optional>
-#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace padlock {
 
-template <typename Alg>
-int run_message_rounds(const Graph& g, Alg& alg, int max_rounds) {
-  using Message = typename Alg::Message;
+/// Run-level counters of one run_message_rounds execution (queried by
+/// tests and benches; pass nullptr to skip).
+struct MessageEngineStats {
+  std::int64_t rounds = 0;
+  std::int64_t node_steps = 0;   // total step() invocations = Σ_r |active_r|
+  std::int64_t node_sends = 0;   // total send-phase node visits (incl. drain)
+  std::size_t peak_active = 0;   // |frontier| of the busiest round
+};
 
-  auto all_done = [&] {
-    for (NodeId v = 0; v < g.num_nodes(); ++v)
-      if (!alg.done(v)) return false;
-    return true;
+/// Zero-copy per-node inbox over the engine's message/round-stamp slabs.
+/// inbox[p] is an optional-like reference: contextually bool (did a
+/// message arrive on port p this round?), dereferencing to the Message.
+template <typename M>
+class MessageInbox {
+ public:
+  class Ref {
+   public:
+    explicit operator bool() const { return present_; }
+    const M& operator*() const {
+      PADLOCK_REQUIRE(present_);
+      return *msg_;
+    }
+    const M* operator->() const {
+      PADLOCK_REQUIRE(present_);
+      return msg_;
+    }
+
+   private:
+    friend class MessageInbox;
+    Ref(const M* msg, bool present) : msg_(msg), present_(present) {}
+    const M* msg_;
+    bool present_;
   };
 
-  // outbox/inbox indexed by half-edge: the message traveling *out of* that
-  // half-edge's endpoint.
-  std::vector<std::optional<Message>> outbox(2 * g.num_edges());
+  class Iterator {
+   public:
+    Ref operator*() const { return inbox_->operator[](port_); }
+    Iterator& operator++() {
+      ++port_;
+      return *this;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.port_ == b.port_;
+    }
 
-  int round = 0;
-  while (!all_done()) {
-    PADLOCK_REQUIRE(round < max_rounds);
-    ++round;
-    // Send phase.
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      int p = 0;
-      for (const HalfEdge h : g.incident(v))
-        outbox[half_edge_index(h)] = alg.send(v, p++, round);
-    }
-    // Deliver + step phase.
-    std::vector<std::optional<Message>> inbox;
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      inbox.assign(static_cast<std::size_t>(g.degree(v)), std::nullopt);
-      std::size_t p = 0;
-      for (const HalfEdge h : g.incident(v))
-        inbox[p++] = outbox[half_edge_index(Graph::opposite(h))];
-      alg.step(v, std::span<const std::optional<Message>>(inbox), round);
-    }
+   private:
+    friend class MessageInbox;
+    Iterator(const MessageInbox* inbox, int port)
+        : inbox_(inbox), port_(port) {}
+    const MessageInbox* inbox_;
+    int port_;
+  };
+
+  MessageInbox(PortRange ports, const M* slab, const std::int32_t* stamp,
+               std::int32_t round)
+      : ports_(ports), slab_(slab), stamp_(stamp), round_(round) {}
+
+  [[nodiscard]] int size() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] Ref operator[](int port) const {
+    const std::size_t slot = half_edge_index(
+        Graph::opposite(ports_[static_cast<std::size_t>(port)]));
+    return Ref(slab_ + slot, stamp_[slot] == round_);
   }
-  return round;
+  [[nodiscard]] Iterator begin() const { return Iterator(this, 0); }
+  [[nodiscard]] Iterator end() const { return Iterator(this, size()); }
+
+ private:
+  PortRange ports_;
+  const M* slab_;
+  const std::int32_t* stamp_;
+  std::int32_t round_;
+};
+
+namespace detail {
+
+/// Below this many nodes a phase runs inline: dispatching pool chunks for
+/// a near-empty frontier costs more than the phase itself (and the serial
+/// path is what the zero-allocation-per-round guarantee is pinned on).
+inline constexpr std::size_t kEnginePhaseGrain = 1024;
+
+template <typename Body>
+void engine_phase(const std::vector<NodeId>& nodes, const Body& body) {
+  if (resolved_threads() <= 1 || nodes.size() <= kEnginePhaseGrain) {
+    body(std::size_t{0}, nodes.size());
+    return;
+  }
+  // One captured pointer keeps the std::function inside its small-buffer
+  // storage — no per-round heap allocation from the dispatch itself.
+  parallel_for(0, nodes.size(), kEnginePhaseGrain,
+               [&body](std::size_t b, std::size_t e) { body(b, e); });
+}
+
+}  // namespace detail
+
+/// Executes `alg` on g until every node is done (see the file comment for
+/// the precise lifecycle). `max_rounds` is the contract budget — exceeding
+/// it throws ContractViolation. Returns the number of rounds executed.
+/// Serial and parallel (exec_context().threads) executions are
+/// bit-identical.
+template <typename Alg>
+int run_message_rounds(const Graph& g, Alg& alg, std::int64_t max_rounds,
+                       MessageEngineStats* stats = nullptr) {
+  using Message = typename Alg::Message;
+
+  const std::size_t n = g.num_nodes();
+  const std::size_t slots = 2 * g.num_edges();
+
+  // Run-scoped buffers; nothing below allocates per round. Stamps start
+  // at 0 and rounds at 1, so every slot begins silent.
+  std::vector<Message> slab(slots);
+  std::vector<std::int32_t> stamp(slots, 0);
+  std::vector<NodeId> frontier, next, drain;
+  frontier.reserve(n);
+  next.reserve(n);
+  drain.reserve(n);
+  for (NodeId v = 0; v < n; ++v)
+    if (!alg.done(v)) frontier.push_back(v);
+
+  MessageEngineStats local;
+  std::int64_t round64 = 0;
+  while (!frontier.empty()) {
+    PADLOCK_REQUIRE(round64 < max_rounds);
+    PADLOCK_REQUIRE(round64 < std::numeric_limits<int>::max());
+    ++round64;
+    const int round = static_cast<int>(round64);
+    local.rounds = round64;
+    local.node_steps += static_cast<std::int64_t>(frontier.size());
+    local.node_sends +=
+        static_cast<std::int64_t>(frontier.size() + drain.size());
+    if (frontier.size() > local.peak_active) local.peak_active =
+        frontier.size();
+
+    // Send phase: active nodes and last round's halters write their own
+    // out-slots (message + round stamp per sent port; silence writes
+    // nothing — the stale stamp already reads as no-message).
+    const auto send_body = [&](const std::vector<NodeId>& nodes) {
+      const auto body = [&g, &alg, &slab, &stamp, &nodes,
+                         round](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const NodeId v = nodes[i];
+          int p = 0;
+          for (const HalfEdge h : g.incident(v)) {
+            if (auto m = alg.send(v, p, round)) {
+              const std::size_t slot = half_edge_index(h);
+              slab[slot] = std::move(*m);
+              stamp[slot] = round;
+            }
+            ++p;
+          }
+        }
+      };
+      detail::engine_phase(nodes, body);
+    };
+    send_body(frontier);
+    send_body(drain);
+    drain.clear();
+
+    // Step phase: active nodes read their neighbors' out-slots through the
+    // inbox view and advance their own state.
+    {
+      const auto body = [&g, &alg, &slab, &stamp, &frontier,
+                         round](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const NodeId v = frontier[i];
+          const MessageInbox<Message> inbox(g.incident(v), slab.data(),
+                                            stamp.data(), round);
+          alg.step(v, inbox, round);
+        }
+      };
+      detail::engine_phase(frontier, body);
+    }
+
+    // Rebuild the frontier in node order (deterministic for any thread
+    // count); nodes that halted this round drain once more next round.
+    next.clear();
+    for (const NodeId v : frontier)
+      (alg.done(v) ? drain : next).push_back(v);
+    std::swap(frontier, next);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return static_cast<int>(round64);
 }
 
 }  // namespace padlock

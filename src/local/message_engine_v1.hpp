@@ -1,0 +1,60 @@
+// The retired v1 round executor, kept verbatim as a test/bench oracle for
+// the engine-v2 migration (local/message_engine.hpp): tests pin v2
+// bit-identity against it and bench_micro measures the v1→v2 win on the
+// same state machines. Do not use it in new code — it heap-scans all n
+// nodes per round (`all_done`), materializes per-node optional inboxes,
+// and runs strictly serially.
+//
+// Interface contract (matched by engine v2, so one Alg runs on both): the
+// Alg's `step` must accept any inbox type whose per-port accessor yields an
+// optional-like value (`if (inbox[p]) use(*inbox[p])`); here that type is
+// std::span<const std::optional<Message>>.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/check.hpp"
+
+namespace padlock {
+
+template <typename Alg>
+int run_message_rounds_v1(const Graph& g, Alg& alg, std::int64_t max_rounds) {
+  using Message = typename Alg::Message;
+
+  auto all_done = [&] {
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (!alg.done(v)) return false;
+    return true;
+  };
+
+  // outbox/inbox indexed by half-edge: the message traveling *out of* that
+  // half-edge's endpoint.
+  std::vector<std::optional<Message>> outbox(2 * g.num_edges());
+
+  int round = 0;
+  while (!all_done()) {
+    PADLOCK_REQUIRE(round < max_rounds);
+    ++round;
+    // Send phase.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      int p = 0;
+      for (const HalfEdge h : g.incident(v))
+        outbox[half_edge_index(h)] = alg.send(v, p++, round);
+    }
+    // Deliver + step phase.
+    std::vector<std::optional<Message>> inbox;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      inbox.assign(static_cast<std::size_t>(g.degree(v)), std::nullopt);
+      std::size_t p = 0;
+      for (const HalfEdge h : g.incident(v))
+        inbox[p++] = outbox[half_edge_index(Graph::opposite(h))];
+      alg.step(v, std::span<const std::optional<Message>>(inbox), round);
+    }
+  }
+  return round;
+}
+
+}  // namespace padlock

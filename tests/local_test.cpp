@@ -112,7 +112,7 @@ struct MaxFlood {
     for (NodeId v = 0; v < g.num_nodes(); ++v) best[v] = ids[v];
   }
   std::optional<Message> send(NodeId v, int, int) { return best[v]; }
-  void step(NodeId v, std::span<const std::optional<Message>> inbox, int r) {
+  void step(NodeId v, const MessageInbox<Message>& inbox, int r) {
     for (const auto& m : inbox)
       if (m && *m > best[v]) best[v] = *m;
     if (v == 0) seen_rounds = r;
@@ -140,7 +140,7 @@ TEST(MessageEngine, SelfLoopDeliversToSelf) {
     int got = 0;
     int rounds_done = 0;
     std::optional<Message> send(NodeId, int port, int) { return port + 10; }
-    void step(NodeId, std::span<const std::optional<Message>> inbox, int r) {
+    void step(NodeId, const MessageInbox<Message>& inbox, int r) {
       // Port 0 receives what was sent on port 1 and vice versa.
       got = *inbox[0] * 100 + *inbox[1];
       rounds_done = r;
@@ -156,7 +156,7 @@ TEST(MessageEngine, RespectsMaxRounds) {
   struct Never {
     using Message = int;
     std::optional<Message> send(NodeId, int, int) { return 0; }
-    void step(NodeId, std::span<const std::optional<Message>>, int) {}
+    void step(NodeId, const MessageInbox<Message>&, int) {}
     bool done(NodeId) const { return false; }
   } alg;
   EXPECT_THROW(run_message_rounds(g, alg, 3), ContractViolation);
