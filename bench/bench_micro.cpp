@@ -16,6 +16,7 @@
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -36,6 +37,7 @@
 #include "io/serialize.hpp"
 #include "lcl/checker.hpp"
 #include "lcl/problems/sinkless_orientation.hpp"
+#include "store/pg.hpp"
 #include "local/engine.hpp"
 #include "local/message_engine.hpp"
 #include "local/message_engine_v1.hpp"
@@ -250,6 +252,49 @@ std::vector<ScenarioTask> substrate_scenarios() {
            const PaddedInstance back = io::read_padded_instance(ss);
            row.nodes = back.graph.num_nodes();
          }});
+  }
+  // Ingestion hot paths: the same ~49k-edge instance through the three
+  // ways a sweep can obtain a graph — parsing + normalizing a text edge
+  // list, mmap-loading the converted .pg store (checksum + adopt, no
+  // decode), and rebuilding the synthetic family from scratch. The mmap
+  // row is what every file: family pays after converting once; the
+  // regression gate keeps it an order of magnitude under the text parse.
+  {
+    const std::size_t n = std::size_t{1} << 15;
+    const Graph g = build::random_regular_simple(n, 3, 17);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "padlock_bench_store")
+            .string();
+    std::filesystem::create_directories(dir);
+    const auto txt = std::make_shared<std::string>(dir + "/bench-graph.txt");
+    const auto pg = std::make_shared<std::string>(dir + "/bench-graph.pg");
+    {
+      std::ofstream out(*txt);
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const auto [u, v] = g.endpoints(e);
+        out << u << '\t' << v << '\n';
+      }
+    }
+    store::write_pg(*pg, g);
+    tasks.push_back({"store/text-parse/n=" + std::to_string(n),
+                     [txt](SweepRow& row) {
+                       const Graph loaded = store::load_graph_file(*txt);
+                       row.nodes = loaded.num_nodes();
+                       row.edges = loaded.num_edges();
+                     }});
+    tasks.push_back({"store/mmap-load/n=" + std::to_string(n),
+                     [pg](SweepRow& row) {
+                       const Graph loaded = store::load_pg(*pg);
+                       row.nodes = loaded.num_nodes();
+                       row.edges = loaded.num_edges();
+                     }});
+    tasks.push_back({"store/build-synthetic/n=" + std::to_string(n),
+                     [n](SweepRow& row) {
+                       const Graph built =
+                           build::random_regular_simple(n, 3, 17);
+                       row.nodes = built.num_nodes();
+                       row.edges = built.num_edges();
+                     }});
   }
   return tasks;
 }

@@ -15,7 +15,15 @@
 //       the batched execution plan: pairs × families × sizes through the
 //       thread pool (core/runner.hpp run_batch). The graph menu resolves
 //       through the sweep-wide GraphCache unless --no-cache builds every
-//       entry fresh (rows are bit-identical either way; see docs/API.md)
+//       entry fresh (rows are bit-identical either way; see docs/API.md).
+//       family entries may be file-backed: --family file:<path> loads a
+//       .pg store or SNAP/text edge list (docs/API.md "File-backed graphs")
+//   padlock_cli graph convert --in <edgelist|.pg> --out <out.pg>
+//                  [--keep-self-loops] [--keep-duplicates]
+//   padlock_cli graph info    --in <edgelist|.pg>
+//       the binary graph store: convert ingests an edge list (or re-encodes
+//       a .pg) and writes the compact .pg format; info prints the header,
+//       degree stats, and component count of any graph file
 //
 // The gadget/padding tooling (unchanged):
 //   padlock_cli gadget   --delta 3 --height 4 [--fault <name>] [--dot]
@@ -42,8 +50,11 @@
 #include "gadget/faults.hpp"
 #include "gadget/verifier.hpp"
 #include "graph/builders.hpp"
+#include "graph/metrics.hpp"
 #include "io/dot.hpp"
 #include "io/serialize.hpp"
+#include "store/edgelist.hpp"
+#include "store/pg.hpp"
 #include "support/table.hpp"
 
 using namespace padlock;
@@ -78,7 +89,8 @@ Args parse(int argc, char** argv, int first) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: padlock_cli <list|run|sweep|gadget|pad|solve|verify|export> "
+      "usage: padlock_cli "
+      "<list|run|sweep|graph|gadget|pad|solve|verify|export> "
       "[--options]\n(see header comment of padlock_cli.cpp)\n");
   return 2;
 }
@@ -244,6 +256,95 @@ int cmd_sweep(const Args& a) {
   return outcome.all_ok() ? 0 : 1;
 }
 
+// The binary-store surface: `graph convert` ingests an edge list (or
+// re-encodes an existing .pg) into the compact format; `graph info` prints
+// header metadata and degree/structure stats for either kind of file.
+int cmd_graph(const std::string& verb, const Args& a) {
+  const std::string in = a.str("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr,
+                 "usage: padlock_cli graph <convert|info> --in <path> "
+                 "[--out <path.pg>] [--keep-self-loops] "
+                 "[--keep-duplicates]\n");
+    return 2;
+  }
+  if (verb == "convert") {
+    const std::string out = a.str("out", "");
+    if (out.empty()) {
+      std::fprintf(stderr, "padlock_cli graph convert: --out is required\n");
+      return 2;
+    }
+    Graph g;
+    if (store::sniff_pg(in)) {
+      g = store::load_pg(in);
+    } else {
+      store::EdgeListOptions opts;
+      opts.keep_self_loops = a.flag("keep-self-loops");
+      opts.keep_duplicates = a.flag("keep-duplicates");
+      const store::EdgeList el = store::read_edgelist_file(in, opts);
+      std::printf("ingested %zu edge records (%zu duplicates dropped, "
+                  "%zu self-loops dropped, %zu distinct ids remapped)\n",
+                  el.stats.edge_lines, el.stats.duplicates_dropped,
+                  el.stats.self_loops_dropped, el.num_nodes);
+      g = store::to_graph(el);
+    }
+    store::write_pg(out, g);
+    const store::PgInfo info = store::read_pg_info(out);
+    std::printf("wrote %s: %zu nodes, %zu edges, %llu bytes "
+                "(EDGES %llu, CSR %llu), checksum %016llx\n",
+                out.c_str(), g.num_nodes(), g.num_edges(),
+                static_cast<unsigned long long>(info.file_bytes),
+                static_cast<unsigned long long>(info.edges_bytes),
+                static_cast<unsigned long long>(info.csr_bytes),
+                static_cast<unsigned long long>(info.checksum));
+    return 0;
+  }
+  if (verb == "info") {
+    const bool is_pg = store::sniff_pg(in);
+    if (is_pg) {
+      const store::PgInfo info = store::read_pg_info(in);
+      std::printf("%s: .pg store v%u, %llu bytes (EDGES %llu, CSR %llu), "
+                  "checksum %016llx\n",
+                  in.c_str(), info.version,
+                  static_cast<unsigned long long>(info.file_bytes),
+                  static_cast<unsigned long long>(info.edges_bytes),
+                  static_cast<unsigned long long>(info.csr_bytes),
+                  static_cast<unsigned long long>(info.checksum));
+    } else {
+      std::printf("%s: text edge list (fingerprint %016llx)\n", in.c_str(),
+                  static_cast<unsigned long long>(
+                      store::file_fingerprint(in)));
+    }
+    const Graph g = store::load_graph_file(in);
+    std::size_t degree_sum = 0;
+    int min_deg = g.num_nodes() == 0 ? 0 : g.degree(0);
+    std::size_t isolated = 0, self_loops = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const int d = g.degree(v);
+      degree_sum += static_cast<std::size_t>(d);
+      min_deg = std::min(min_deg, d);
+      if (d == 0) ++isolated;
+    }
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (g.is_self_loop(e)) ++self_loops;
+    const Components comps = connected_components(g);
+    std::printf("nodes %zu, edges %zu, self-loops %zu\n", g.num_nodes(),
+                g.num_edges(), self_loops);
+    std::printf("degree min %d, max %d, avg %.2f; %zu isolated\n", min_deg,
+                g.max_degree(),
+                g.num_nodes() == 0 ? 0.0
+                                   : static_cast<double>(degree_sum) /
+                                         static_cast<double>(g.num_nodes()),
+                isolated);
+    std::printf("components %d\n", comps.count);
+    return 0;
+  }
+  std::fprintf(stderr, "padlock_cli graph: unknown verb '%s' "
+                       "(expected convert or info)\n",
+               verb.c_str());
+  return 2;
+}
+
 GadgetFault fault_by_name(const std::string& name) {
   for (const GadgetFault f : all_gadget_faults()) {
     if (fault_name(f) == name) return f;
@@ -373,6 +474,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       return cmd_run(argv[2], argv[3], parse(argc, argv, 4));
+    }
+    if (cmd == "graph") {
+      if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr,
+                     "usage: padlock_cli graph <convert|info> --in <path> "
+                     "[--out <path.pg>]\n");
+        return 2;
+      }
+      return cmd_graph(argv[2], parse(argc, argv, 3));
     }
     const Args a = parse(argc, argv, 2);
     if (cmd == "sweep") return cmd_sweep(a);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/metrics.hpp"
+#include "store/pg.hpp"
 #include "support/rng.hpp"
 
 namespace padlock::build {
@@ -294,8 +295,16 @@ std::size_t regular_n(std::size_t n, int d) {
 
 }  // namespace
 
+bool is_file_family(const std::string& name) {
+  return name.rfind("file:", 0) == 0;
+}
+
 Graph family(const std::string& name, std::size_t n, int degree,
              std::uint64_t seed) {
+  // File-backed families dispatch before the synthetic-parameter checks:
+  // the file *is* the instance, so n/degree/seed do not constrain it.
+  if (is_file_family(name))
+    return store::load_graph_file(name.substr(5));
   PADLOCK_REQUIRE(n >= 1);
   PADLOCK_REQUIRE(degree >= 1);
   if (name == "path") return path(n);
@@ -335,6 +344,20 @@ FamilyKey canonical_key(const std::string& name, std::size_t n, int degree,
                         std::uint64_t seed) {
   // Keep this in sync with family(): the key must collapse exactly the
   // parameters family() ignores, nothing more.
+  if (is_file_family(name)) {
+    // The key carries the file's content identity, not just its path: a
+    // regenerated file gets a fresh fingerprint and therefore a fresh
+    // cache slot. canonical_key must not throw (run_batch calls it while
+    // deduping the menu), so unreadable paths key as 0 and fail later at
+    // build time, attributed to their row.
+    std::uint64_t fingerprint = 0;
+    try {
+      fingerprint = store::file_fingerprint(name.substr(5));
+    } catch (...) {
+      fingerprint = 0;
+    }
+    return {name, 0, 0, fingerprint};
+  }
   if (name == "cubic") return {"multigraph", n, 3, seed};
   if (name == "cubic-simple") return {"regular", n, 3, seed};
   if (name == "path" || name == "cycle" || name == "tree" || name == "torus") {

@@ -75,7 +75,17 @@ Graph random_bounded_degree_simple(std::size_t n, int max_deg, double density,
 ///   tree         complete binary tree with >= n nodes (2^h - 1)
 /// plus the legacy CLI aliases cubic (= multigraph, d=3) and cubic-simple
 /// (= regular, d=3).
+///
+/// Additionally any `file:<path>` name is a *file-backed* family: the graph
+/// is loaded from `<path>` — a binary `.pg` store (mmap, zero-copy) or a
+/// SNAP/text edge list (parsed + normalized) — through store::
+/// load_graph_file. File-backed families ignore n/degree/seed (the file is
+/// the instance); family_names() lists only the synthetic families since
+/// file: is parameterized by path.
 [[nodiscard]] std::vector<std::string> family_names();
+
+/// True iff `name` selects the file-backed family ("file:<path>").
+[[nodiscard]] bool is_file_family(const std::string& name);
 
 /// Builds one instance of the named family. Throws std::invalid_argument on
 /// an unknown name.
@@ -88,7 +98,14 @@ Graph family(const std::string& name, std::size_t n, int degree,
 ///   * legacy aliases collapse (cubic -> multigraph d=3, cubic-simple ->
 ///     regular d=3);
 ///   * parameters a family ignores are zeroed (path/cycle/tree/torus take
-///     neither degree nor seed).
+///     neither degree nor seed);
+///   * file-backed families ("file:<path>") zero n/degree and carry the
+///     file's *content fingerprint* (the .pg header checksum, or an FNV
+///     over a text edge list's bytes) in the seed field — so two different
+///     files, or the same path regenerated with different content, can
+///     never alias one cached Graph. An unreadable file fingerprints to 0
+///     (the key must not throw); the build fails later, attributed to its
+///     row.
 /// Unknown family names pass through untouched (they fail at build time,
 /// attributed to their row).
 struct FamilyKey {

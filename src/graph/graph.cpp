@@ -31,26 +31,47 @@ EdgeId GraphBuilder::add_edge(NodeId u, NodeId v) {
 
 Graph GraphBuilder::build() && {
   Graph g;
-  g.endpoints_ = std::move(endpoints_);
-  g.first_port_.resize(node_ports_.size() + 1, 0);
+  std::vector<std::size_t> first_port(node_ports_.size() + 1, 0);
   std::size_t total = 0;
   for (std::size_t v = 0; v < node_ports_.size(); ++v) {
-    g.first_port_[v] = total;
+    first_port[v] = total;
     total += node_ports_[v].size();
     g.max_degree_ =
         std::max(g.max_degree_, static_cast<int>(node_ports_[v].size()));
   }
-  g.first_port_[node_ports_.size()] = total;
-  g.ports_.reserve(total);
-  g.side_port_.assign(g.endpoints_.size(), {-1, -1});
+  first_port[node_ports_.size()] = total;
+  std::vector<HalfEdge> ports;
+  ports.reserve(total);
+  std::vector<std::pair<int, int>> side_port(endpoints_.size(), {-1, -1});
   for (std::size_t v = 0; v < node_ports_.size(); ++v) {
     for (std::size_t p = 0; p < node_ports_[v].size(); ++p) {
       const HalfEdge h = node_ports_[v][p];
-      g.ports_.push_back(h);
-      auto& sp = g.side_port_[h.edge];
+      ports.push_back(h);
+      auto& sp = side_port[h.edge];
       (h.side == 0 ? sp.first : sp.second) = static_cast<int>(p);
     }
   }
+  g.first_port_ = std::move(first_port);
+  g.ports_ = std::move(ports);
+  g.endpoints_ = std::move(endpoints_);
+  g.side_port_ = std::move(side_port);
+  return g;
+}
+
+Graph Graph::adopt(Slab<std::size_t> first_port, Slab<HalfEdge> ports,
+                   Slab<std::pair<NodeId, NodeId>> endpoints,
+                   Slab<std::pair<int, int>> side_port, int max_degree) {
+  PADLOCK_REQUIRE(!first_port.empty());
+  PADLOCK_REQUIRE(first_port[0] == 0);
+  PADLOCK_REQUIRE(first_port[first_port.size() - 1] == ports.size());
+  PADLOCK_REQUIRE(ports.size() == 2 * endpoints.size());
+  PADLOCK_REQUIRE(side_port.size() == endpoints.size());
+  Graph g;
+  g.first_port_ = std::move(first_port);
+  g.ports_ = std::move(ports);
+  g.endpoints_ = std::move(endpoints);
+  g.side_port_ = std::move(side_port);
+  g.max_degree_ = max_degree;
   return g;
 }
 

@@ -13,12 +13,72 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "support/check.hpp"
 
 namespace padlock {
+
+/// Immutable storage slab of the graph's CSR arrays: either *owning* (a
+/// vector produced by GraphBuilder) or a *view* over externally owned bytes
+/// (the store's mmap-backed `.pg` loader), with a keep-alive handle that
+/// pins the backing mapping for the slab's lifetime. Both flavors expose
+/// the same contiguous `data()/size()` surface, so PortRange and every
+/// accessor below work identically on built and file-backed graphs —
+/// zero-copy loading changes where the bytes live, never how they read.
+template <typename T>
+class Slab {
+ public:
+  Slab() = default;
+  /*implicit*/ Slab(std::vector<T> own)
+      : own_(std::move(own)), data_(own_.data()), size_(own_.size()) {}
+  Slab(const T* data, std::size_t size, std::shared_ptr<const void> keep_alive)
+      : keep_(std::move(keep_alive)), data_(data), size_(size) {}
+
+  // Owning slabs re-anchor data_ at the destination vector's buffer (vector
+  // copy reallocates; vector move preserves the heap buffer).
+  Slab(const Slab& o)
+      : own_(o.own_), keep_(o.keep_), data_(o.data_), size_(o.size_) {
+    if (!own_.empty()) data_ = own_.data();
+  }
+  Slab(Slab&& o) noexcept
+      : own_(std::move(o.own_)),
+        keep_(std::move(o.keep_)),
+        data_(o.data_),
+        size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  Slab& operator=(const Slab& o) {
+    if (this != &o) {
+      Slab tmp(o);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  Slab& operator=(Slab&& o) noexcept {
+    own_ = std::move(o.own_);
+    keep_ = std::move(o.keep_);
+    data_ = o.data_;
+    size_ = o.size_;
+    o.data_ = nullptr;
+    o.size_ = 0;
+    return *this;
+  }
+
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::vector<T> own_;
+  std::shared_ptr<const void> keep_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 using NodeId = std::uint32_t;
 using EdgeId = std::uint32_t;
@@ -149,16 +209,27 @@ class Graph {
     return PortRange(base + first_port_[v], base + first_port_[v + 1]);
   }
 
+  /// Trusted assembly from pre-built CSR slabs — the entry point of the
+  /// store's mmap loader (store/pg.hpp), which hands in views over a mapped
+  /// `.pg` payload. Cross-referential invariants (first_port monotone and
+  /// ending at 2·edges, port/endpoint/side_port agreement) are the caller's
+  /// responsibility; the loader validates the payload before adopting.
+  [[nodiscard]] static Graph adopt(Slab<std::size_t> first_port,
+                                   Slab<HalfEdge> ports,
+                                   Slab<std::pair<NodeId, NodeId>> endpoints,
+                                   Slab<std::pair<int, int>> side_port,
+                                   int max_degree);
+
  private:
   friend class GraphBuilder;
 
   // CSR layout of ports: ports of node v live at
   // ports_[first_port_[v] .. first_port_[v+1]).
-  std::vector<std::size_t> first_port_;
-  std::vector<HalfEdge> ports_;
-  std::vector<std::pair<NodeId, NodeId>> endpoints_;
+  Slab<std::size_t> first_port_;
+  Slab<HalfEdge> ports_;
+  Slab<std::pair<NodeId, NodeId>> endpoints_;
   // Per edge: (port at side-0 endpoint, port at side-1 endpoint).
-  std::vector<std::pair<int, int>> side_port_;
+  Slab<std::pair<int, int>> side_port_;
   int max_degree_ = 0;
 };
 

@@ -1,0 +1,125 @@
+#include "store/edgelist.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace padlock::store {
+
+namespace {
+
+[[noreturn]] void parse_failure(const std::string& what, std::size_t line_no) {
+  const std::string msg =
+      "malformed edge list, line " + std::to_string(line_no) + ": " + what;
+  contract_failure("store", msg.c_str(), __FILE__, __LINE__);
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+// Parses "<u> <v>" with arbitrary interior whitespace; returns false for a
+// blank line, throws on anything else that is not two u64 tokens.
+bool parse_edge_line(const std::string& line, std::size_t line_no,
+                     std::uint64_t& u, std::uint64_t& v) {
+  const char* cur = line.data();
+  const char* end = line.data() + line.size();
+  while (cur != end && is_space(*cur)) ++cur;
+  if (cur == end) return false;  // blank
+  auto take_u64 = [&](std::uint64_t& out) {
+    const auto [ptr, ec] = std::from_chars(cur, end, out);
+    if (ec != std::errc() || ptr == cur)
+      parse_failure("expected an unsigned node id, got '" +
+                        std::string(cur, end) + "'",
+                    line_no);
+    cur = ptr;
+  };
+  take_u64(u);
+  if (cur == end || !is_space(*cur))
+    parse_failure("expected two node ids separated by whitespace", line_no);
+  while (cur != end && is_space(*cur)) ++cur;
+  take_u64(v);
+  while (cur != end && is_space(*cur)) ++cur;
+  if (cur != end)
+    parse_failure("trailing characters after the second node id: '" +
+                      std::string(cur, end) + "'",
+                  line_no);
+  return true;
+}
+
+}  // namespace
+
+EdgeList read_edgelist(std::istream& is, const EdgeListOptions& opts) {
+  EdgeList el;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++el.stats.lines;
+    // Comment prefix check tolerates leading whitespace.
+    std::size_t first = 0;
+    while (first < line.size() && is_space(line[first])) ++first;
+    if (first < line.size() && (line[first] == '#' || line[first] == '%')) {
+      ++el.stats.comment_lines;
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    if (!parse_edge_line(line, el.stats.lines, u, v)) continue;
+    ++el.stats.edge_lines;
+    if (u == v && !opts.keep_self_loops) {
+      ++el.stats.self_loops_dropped;
+      continue;
+    }
+    raw.emplace_back(std::min(u, v), std::max(u, v));
+  }
+
+  // Dense remap: sorted distinct original ids; dense id = rank. The order
+  // preservation makes the mapping reproducible and human-checkable.
+  std::vector<std::uint64_t>& ids = el.original_id;
+  ids.reserve(2 * raw.size());
+  for (const auto& [u, v] : raw) {
+    ids.push_back(u);
+    ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  el.num_nodes = ids.size();
+  auto dense = [&](std::uint64_t orig) {
+    return static_cast<NodeId>(
+        std::lower_bound(ids.begin(), ids.end(), orig) - ids.begin());
+  };
+
+  el.edges.reserve(raw.size());
+  for (const auto& [u, v] : raw) el.edges.emplace_back(dense(u), dense(v));
+  // Canonical order: sort, then (unless parallels are kept) collapse
+  // duplicates. Port numbering — hence every downstream labeling — depends
+  // only on this order, which both the text path and the .pg path share.
+  std::sort(el.edges.begin(), el.edges.end());
+  if (!opts.keep_duplicates) {
+    const auto last = std::unique(el.edges.begin(), el.edges.end());
+    el.stats.duplicates_dropped =
+        static_cast<std::size_t>(el.edges.end() - last);
+    el.edges.erase(last, el.edges.end());
+  }
+  return el;
+}
+
+EdgeList read_edgelist_file(const std::string& path,
+                            const EdgeListOptions& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    const std::string msg = "cannot open edge list '" + path + "'";
+    contract_failure("store", msg.c_str(), __FILE__, __LINE__);
+  }
+  return read_edgelist(in, opts);
+}
+
+Graph to_graph(const EdgeList& el) {
+  GraphBuilder b(el.num_nodes);
+  b.add_nodes(el.num_nodes);
+  for (const auto& [u, v] : el.edges) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+}  // namespace padlock::store

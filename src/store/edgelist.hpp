@@ -1,0 +1,74 @@
+// SNAP/text edge-list ingestion — the entry point for real topologies.
+//
+// Accepted input is the de-facto standard of published graph datasets
+// (SNAP, KONECT, ...): one "<u> <v>" pair per line, whitespace-separated
+// (spaces or tabs), with '#' / '%' comment lines, blank lines, and CRLF
+// endings tolerated. Node ids may be arbitrary 64-bit values with gaps;
+// the reader remaps them to the dense 0-based ids the Graph contract
+// requires and keeps the dense→original table for reporting.
+//
+// Real edge lists are messy: directed datasets list both u→v and v→u,
+// crawls contain repeated lines and self-loops. The reader *normalizes* by
+// default — undirected duplicates collapse to one edge and self-loops are
+// dropped (counted in stats) — so the resulting graph is simple and every
+// registered algorithm whose precondition wants a loop-free graph can run
+// on it. Both behaviors are opt-outable for workloads that study the raw
+// multigraph.
+//
+// The normalized edge list is *canonical*: endpoints ordered min≤max,
+// edges sorted lexicographically. Canonical order is what makes
+// text-load ≡ (.pg convert → mmap load) bit-identical — port numbering
+// depends only on edge order, and both paths use this one.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace padlock::store {
+
+struct EdgeListOptions {
+  /// Keep undirected duplicate edges as parallel edges (default: collapse).
+  bool keep_duplicates = false;
+  /// Keep self-loops (default: drop; the multigraph model allows them but
+  /// the simple-graph algorithms would all skip the instance).
+  bool keep_self_loops = false;
+};
+
+struct EdgeListStats {
+  std::size_t lines = 0;            // total lines seen
+  std::size_t comment_lines = 0;    // '#' / '%' prefixed
+  std::size_t edge_lines = 0;       // parsed "<u> <v>" records
+  std::size_t duplicates_dropped = 0;
+  std::size_t self_loops_dropped = 0;
+};
+
+/// A parsed, normalized edge list: dense node ids, canonical edge order.
+struct EdgeList {
+  std::size_t num_nodes = 0;  // distinct endpoint ids seen
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  /// Dense id -> original file id (sorted ascending, so the mapping is
+  /// order-preserving: dense ranks = sorted original ids).
+  std::vector<std::uint64_t> original_id;
+  EdgeListStats stats;
+};
+
+/// Parses an edge list from a stream. Malformed records (a line with one
+/// token, non-numeric tokens, trailing junk) throw ContractViolation so a
+/// bad file poisons exactly the sweep row that asked for it.
+[[nodiscard]] EdgeList read_edgelist(std::istream& is,
+                                     const EdgeListOptions& opts = {});
+
+/// File convenience wrapper; a missing/unreadable path throws
+/// ContractViolation.
+[[nodiscard]] EdgeList read_edgelist_file(const std::string& path,
+                                          const EdgeListOptions& opts = {});
+
+/// Materializes the Graph (GraphBuilder over the canonical edge order).
+[[nodiscard]] Graph to_graph(const EdgeList& el);
+
+}  // namespace padlock::store

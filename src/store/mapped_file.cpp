@@ -1,0 +1,55 @@
+#include "store/mapped_file.hpp"
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+#if defined(_WIN32)
+#error "store::MappedFile is POSIX-only; add a Win32 mapping path if needed"
+#endif
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace padlock::store {
+
+namespace {
+
+[[noreturn]] void map_failure(const char* what, const std::string& path) {
+  const std::string msg = std::string(what) + " '" + path + "'";
+  contract_failure("store", msg.c_str(), __FILE__, __LINE__);
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) map_failure("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    map_failure("not a regular file", path);
+  }
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->path_ = path;
+  file->size_ = static_cast<std::size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* base = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      map_failure("mmap failed for", path);
+    }
+    file->map_base_ = base;
+    file->data_ = static_cast<const std::uint8_t*>(base);
+  }
+  ::close(fd);  // the mapping keeps the file content alive without the fd
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (map_base_ != nullptr) ::munmap(map_base_, size_);
+}
+
+}  // namespace padlock::store

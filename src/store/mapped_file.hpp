@@ -1,0 +1,38 @@
+// Read-only memory mapping with RAII unmap — the backing storage of
+// zero-copy `.pg` graph loads. A MappedFile is handed around as
+// shared_ptr<const MappedFile>; the Graph slabs that view into it keep
+// that pointer alive, so the mapping outlives every graph built from it
+// regardless of cache eviction order.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace padlock::store {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Throws ContractViolation if the file cannot be
+  /// opened, stat'ed, or mapped (missing file, directory, permission).
+  /// Empty files map to a valid zero-length view.
+  static std::shared_ptr<const MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;  // null when size_ == 0 (nothing mapped)
+};
+
+}  // namespace padlock::store
