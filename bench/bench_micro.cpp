@@ -6,7 +6,11 @@
 // serialization).
 //
 // Usage: bench_micro [--threads N] [--repeat R] [--sizes a,b,...]
-//                    [--json PATH] [--no-json]
+//                    [--engine-max-exp E] [--json PATH] [--no-json]
+//
+// --engine-max-exp caps the message-engine size ramp at n = 2^E (default
+// 22; CI passes 16 so the gate stays fast while local runs measure the
+// full memory-bound regime).
 //
 // Wall-clock results are written machine-readably to BENCH_micro.json
 // (pair, n, rounds, wall_ns, threads) so the perf trajectory accumulates
@@ -55,6 +59,7 @@ namespace {
 // rescans + per-node optional inboxes) rather than any algorithm.
 struct GeometricHalt {
   using Message = std::uint64_t;
+  static constexpr bool kUniformSend = true;  // broadcast each round
   std::vector<std::uint64_t> acc;
   std::vector<std::int32_t> halt_round;
   std::vector<std::uint8_t> halted;
@@ -80,7 +85,7 @@ struct GeometricHalt {
 // hoisted into shared_ptr captures at task-creation time so each timed
 // body exercises only the path its label names; bodies are self-contained
 // so the pool may run them concurrently.
-std::vector<ScenarioTask> substrate_scenarios() {
+std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp) {
   std::vector<ScenarioTask> tasks;
   // The strict/audit gather hot path through the flat-ball engine: the same
   // radius-2 rule in both accounting modes. The strict rows are what the
@@ -110,40 +115,66 @@ std::vector<ScenarioTask> substrate_scenarios() {
            }});
     }
   }
-  // The message-engine size ramp (n=2^12..2^16, cycle+regular): the
-  // engine-bound geometric-halt rule plus the two deepest migrated state
-  // machines (Luby, propose-accept matching) through engine v2, and the
-  // same three rules through the retired v1 executor at n=2^14 — the
-  // reference pair the v1→v2 win is measured against. The geometric-halt
-  // pair is the engine gauge (its rule costs nothing, so the ratio is
-  // pure executor overhead); the luby/matching pairs show the end-to-end
-  // win, bounded by each algorithm's own per-node compute.
+  // The message-engine size ramp (cycle + regular + the real-graph file
+  // sample): the engine-bound geometric-halt rule plus the two deepest
+  // migrated state machines (Luby, propose-accept matching) through
+  // engine v3 — the dispatch default — at n = 2^12..2^engine_max_exp,
+  // with explicit v2 rows at the anchor sizes {2^14, 2^18, 2^22} (the
+  // pair the bit-packed v2→v3 win is measured against) and the retired
+  // v1 executor's reference rows at 2^14. The geometric-halt pair is the
+  // engine gauge (its rule costs nothing, so the ratio is pure executor
+  // overhead); the luby/matching pairs show the end-to-end win, bounded
+  // by each algorithm's own per-node compute. Every engine row carries
+  // the edge count (feeding the derived edges_per_sec column) and the
+  // engine's resident footprint in its stats object.
+  const auto engine_rows = [&tasks](const std::shared_ptr<const Graph>& g,
+                                    const std::shared_ptr<IdMap>& ids,
+                                    const std::string& suffix,
+                                    MessageEngineVersion version) {
+    const std::string tag =
+        version == MessageEngineVersion::kV2 ? "v2" : "v3";
+    const auto fill = [g](SweepRow& row, const MessageEngineStats& es,
+                          int rounds) {
+      row.nodes = g->num_nodes();
+      row.edges = g->num_edges();
+      row.rounds = rounds;
+      row.stats.set("engine_bytes_slab", es.bytes_slab);
+      row.stats.set("engine_bytes_state", es.bytes_state);
+    };
+    tasks.push_back({"engine/" + tag + "/geometric-halt" + suffix,
+                     [g, version, fill](SweepRow& row) {
+                       ScopedEngineVersion scope(version);
+                       GeometricHalt alg(g->num_nodes());
+                       MessageEngineStats es;
+                       const int rounds = run_message_rounds(
+                           *g, alg, static_cast<std::int64_t>(64), &es);
+                       fill(row, es, rounds);
+                     }});
+    tasks.push_back({"engine/" + tag + "/luby" + suffix,
+                     [g, ids, version, fill](SweepRow& row) {
+                       ScopedEngineVersion scope(version);
+                       MessageEngineStats es;
+                       const auto res = luby_mis(*g, *ids, 7, &es);
+                       fill(row, es, res.rounds);
+                     }});
+    tasks.push_back({"engine/" + tag + "/matching" + suffix,
+                     [g, ids, version, fill](SweepRow& row) {
+                       ScopedEngineVersion scope(version);
+                       MessageEngineStats es;
+                       const auto res = randomized_matching(*g, *ids, 7, &es);
+                       fill(row, es, res.rounds);
+                     }});
+  };
   for (const char* family : {"cycle", "regular"}) {
-    for (int exp = 12; exp <= 16; ++exp) {
+    for (int exp = 12; exp <= engine_max_exp; exp += 2) {
       const std::size_t n = std::size_t{1} << exp;
       const auto g = GraphCache::instance().get_or_build(family, n, 3, 13);
       const auto ids = std::make_shared<IdMap>(shuffled_ids(*g, 5));
       const std::string suffix =
           "/" + std::string(family) + "/n=" + std::to_string(n);
-      tasks.push_back({"engine/v2/geometric-halt" + suffix,
-                       [g](SweepRow& row) {
-                         GeometricHalt alg(g->num_nodes());
-                         row.rounds = run_message_rounds(
-                             *g, alg, static_cast<std::int64_t>(64));
-                         row.nodes = g->num_nodes();
-                       }});
-      tasks.push_back({"engine/v2/luby" + suffix,
-                       [g, ids](SweepRow& row) {
-                         const auto res = luby_mis(*g, *ids, 7);
-                         row.nodes = g->num_nodes();
-                         row.rounds = res.rounds;
-                       }});
-      tasks.push_back({"engine/v2/matching" + suffix,
-                       [g, ids](SweepRow& row) {
-                         const auto res = randomized_matching(*g, *ids, 7);
-                         row.nodes = g->num_nodes();
-                         row.rounds = res.rounds;
-                       }});
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3);
+      if (exp == 14 || exp == 18 || exp == 22)
+        engine_rows(g, ids, suffix, MessageEngineVersion::kV2);
       if (exp == 14) {
         tasks.push_back({"engine/v1/geometric-halt" + suffix,
                          [g](SweepRow& row) {
@@ -151,11 +182,13 @@ std::vector<ScenarioTask> substrate_scenarios() {
                            row.rounds = run_message_rounds_v1(
                                *g, alg, static_cast<std::int64_t>(64));
                            row.nodes = g->num_nodes();
+                           row.edges = g->num_edges();
                          }});
         tasks.push_back({"engine/v1/luby" + suffix,
                          [g, ids](SweepRow& row) {
                            const auto res = luby_mis_v1(*g, *ids, 7);
                            row.nodes = g->num_nodes();
+                           row.edges = g->num_edges();
                            row.rounds = res.rounds;
                          }});
         tasks.push_back({"engine/v1/matching" + suffix,
@@ -163,9 +196,25 @@ std::vector<ScenarioTask> substrate_scenarios() {
                            const auto res =
                                randomized_matching_v1(*g, *ids, 7);
                            row.nodes = g->num_nodes();
+                           row.edges = g->num_edges();
                            row.rounds = res.rounds;
                          }});
       }
+    }
+  }
+  // The same three rules on the committed real-graph sample (skewed
+  // degrees, no synthetic regularity) — both engines, so the v2/v3 pair
+  // exists for a file: family too.
+  {
+    const std::string sample = "tests/data/p2p-sample.txt";
+    if (std::filesystem::exists(sample)) {
+      const auto g =
+          GraphCache::instance().get_or_build("file:" + sample, 0, 0, 0);
+      const auto ids = std::make_shared<IdMap>(shuffled_ids(*g, 5));
+      const std::string suffix =
+          "/p2p-sample/n=" + std::to_string(g->num_nodes());
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV2);
     }
   }
   for (const std::size_t n : {std::size_t{1} << 10, std::size_t{1} << 14}) {
@@ -322,6 +371,7 @@ void print_rows(const char* title, const SweepOutcome& outcome) {
 int main(int argc, char** argv) {
   int threads = 0;  // 0 = hardware concurrency
   int repeat = 3;
+  int engine_max_exp = 22;
   std::vector<std::size_t> sizes{std::size_t{1} << 10};
   std::string json_path = "BENCH_micro.json";
   for (int i = 1; i < argc; ++i) {
@@ -331,6 +381,15 @@ int main(int argc, char** argv) {
     };
     if (arg == "--threads") threads = std::atoi(next());
     else if (arg == "--repeat") repeat = std::atoi(next());
+    else if (arg == "--engine-max-exp") {
+      engine_max_exp = std::atoi(next());
+      if (engine_max_exp < 12 || engine_max_exp > 26) {
+        std::fprintf(stderr,
+                     "bench_micro: --engine-max-exp expects 12..26, got %d\n",
+                     engine_max_exp);
+        return 2;
+      }
+    }
     else if (arg == "--json") json_path = next();
     else if (arg == "--no-json") json_path.clear();
     else if (arg == "--sizes") {
@@ -351,7 +410,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_micro [--threads N] [--repeat R] "
-                   "[--sizes a,b,...] [--json PATH] [--no-json]\n");
+                   "[--sizes a,b,...] [--engine-max-exp E] [--json PATH] "
+                   "[--no-json]\n");
       return 2;
     }
   }
@@ -382,7 +442,8 @@ int main(int argc, char** argv) {
   small.repeat = repeat;
   const SweepOutcome baseline = run_batch(small);
 
-  const SweepOutcome substrate = run_scenarios(substrate_scenarios(), repeat);
+  const SweepOutcome substrate =
+      run_scenarios(substrate_scenarios(engine_max_exp), repeat);
 
   print_rows("registry pairs (solve + verify, run_batch)", runners);
   print_rows("linear baselines", baseline);

@@ -11,11 +11,22 @@ both files and a baseline min-wall above the noise floor participate. The
 min over repeats (not the median) is compared because it is the stable
 statistic under scheduler jitter.
 
+Schema tolerance, by design: the gate compares only the keys it names.
+Rows present in the current run but not in the baseline (a new benchmark,
+a deeper size ramp) are ignored; rows that vanished from the current run
+only warn; and unknown JSON fields on a row (new stats columns such as
+edges_per_sec or the engine byte gauges) are never an error. A baseline
+refresh is therefore only needed when timings shift, not when the bench
+grows.
+
 Exit codes: 0 clean, 1 regression, 2 usage/parse error.
 
 Refreshing the baseline (CI menu):
     ./build/bench_micro --sizes 64 --repeat 5 --threads 1 \
-        --json bench/baseline_micro.json
+        --engine-max-exp 14 --json bench/baseline_micro.json
+
+Self check (run by CI before gating):
+    python3 bench/check_bench_regression.py --self-test
 """
 
 import argparse
@@ -26,8 +37,12 @@ import sys
 def load_rows(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
+    return index_rows(doc, path)
+
+
+def index_rows(doc, origin):
     if not isinstance(doc, dict) or "rows" not in doc:
-        raise ValueError(f"{path}: expected a sweep object with a 'rows' key")
+        raise ValueError(f"{origin}: expected a sweep object with a 'rows' key")
     rows = {}
     for row in doc["rows"]:
         if row.get("status") != "ok":
@@ -38,52 +53,161 @@ def load_rows(path):
     return rows
 
 
+def find_regressions(current, baseline, tolerance, floor_ns):
+    """Core of the gate, shared by main() and the self-test.
+
+    Returns (common_keys, regressions) where each regression is
+    (key, base_ns, cur_ns, base_share, cur_share). Raises ValueError when
+    nothing is comparable.
+    """
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        raise ValueError("no comparable ok-rows between current and baseline")
+
+    cur_total = sum(current[k] for k in common)
+    base_total = sum(baseline[k] for k in common)
+    if cur_total == 0 or base_total == 0:
+        raise ValueError("zero total wall time; nothing to compare")
+
+    regressions = []
+    for key in common:
+        base_ns = baseline[key]
+        if base_ns < floor_ns:
+            continue
+        cur_share = current[key] / cur_total
+        base_share = base_ns / base_total
+        if cur_share > base_share * (1.0 + tolerance):
+            regressions.append((key, base_ns, current[key], base_share,
+                                cur_share))
+    return common, regressions
+
+
+# ---- embedded unit tests ----------------------------------------------------
+
+def _doc(rows):
+    return {"rows": rows}
+
+
+def _row(problem, ns, **extra):
+    row = {"problem": problem, "algo": "a", "family": "f", "nodes": 64,
+           "status": "ok", "wall_ns_min": ns}
+    row.update(extra)
+    return row
+
+
+def self_test():
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    base = index_rows(_doc([_row("p", 10_000_000), _row("q", 10_000_000)]),
+                      "base")
+
+    # Identical run: clean.
+    cur = index_rows(_doc([_row("p", 10_000_000), _row("q", 10_000_000)]),
+                     "cur")
+    _, regs = find_regressions(cur, base, 0.25, 1_000_000)
+    check("identical-clean", regs == [])
+
+    # Uniform 3x slowdown cancels out (share-based comparison).
+    cur = index_rows(_doc([_row("p", 30_000_000), _row("q", 30_000_000)]),
+                     "cur")
+    _, regs = find_regressions(cur, base, 0.25, 1_000_000)
+    check("uniform-slowdown-clean", regs == [])
+
+    # One row doubling while the other holds is a regression.
+    cur = index_rows(_doc([_row("p", 20_000_000), _row("q", 10_000_000)]),
+                     "cur")
+    _, regs = find_regressions(cur, base, 0.25, 1_000_000)
+    check("lopsided-regresses", len(regs) == 1 and regs[0][0][0] == "p")
+
+    # Added rows in the current run are ignored, not an error.
+    cur = index_rows(_doc([_row("p", 10_000_000), _row("q", 10_000_000),
+                           _row("new-bench", 99_000_000)]), "cur")
+    common, regs = find_regressions(cur, base, 0.25, 1_000_000)
+    check("added-rows-ignored", len(common) == 2 and regs == [])
+
+    # Unknown columns on a row (new stats fields) are ignored.
+    cur = index_rows(_doc([_row("p", 10_000_000, edges_per_sec=123,
+                                stats={"engine_bytes_slab": 4096}),
+                           _row("q", 10_000_000)]), "cur")
+    _, regs = find_regressions(cur, base, 0.25, 1_000_000)
+    check("added-columns-ignored", regs == [])
+
+    # Rows below the noise floor never gate.
+    tiny_base = index_rows(_doc([_row("p", 500), _row("q", 10_000_000)]),
+                           "base")
+    cur = index_rows(_doc([_row("p", 50_000), _row("q", 10_000_000)]), "cur")
+    _, regs = find_regressions(cur, tiny_base, 0.25, 1_000_000)
+    check("noise-floor-skips", regs == [])
+
+    # Non-ok rows are excluded from indexing.
+    skipped = index_rows(_doc([_row("p", 10_000_000),
+                               _row("q", 10_000_000, status="error")]),
+                         "cur")
+    check("non-ok-skipped", len(skipped) == 1)
+
+    # Disjoint row sets are a hard error, not a silent pass.
+    try:
+        find_regressions(index_rows(_doc([_row("x", 1_000_000)]), "cur"),
+                         base, 0.25, 1_000_000)
+        check("disjoint-errors", False)
+    except ValueError:
+        check("disjoint-errors", True)
+
+    # Malformed documents are a hard error.
+    try:
+        index_rows(["not", "a", "sweep"], "cur")
+        check("malformed-errors", False)
+    except ValueError:
+        check("malformed-errors", True)
+
+    if failures:
+        print(f"bench-gate: SELF-TEST FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("bench-gate: self-test passed (9 checks)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="BENCH_micro.json of this run")
-    parser.add_argument("baseline", help="committed baseline_micro.json")
+    parser.add_argument("current", nargs="?",
+                        help="BENCH_micro.json of this run")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline_micro.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative growth of a row's share of "
                              "total wall time (default 0.25 = +/-25%%)")
     parser.add_argument("--floor-ns", type=int, default=1_000_000,
                         help="ignore rows whose baseline min-wall is below "
                              "this (noise; default 1ms)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded unit tests and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.current is None or args.baseline is None:
+        parser.error("current and baseline are required unless --self-test")
 
     try:
         current = load_rows(args.current)
         baseline = load_rows(args.baseline)
+        common, regressions = find_regressions(current, baseline,
+                                               args.tolerance, args.floor_ns)
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print(f"bench-gate: {err}", file=sys.stderr)
         return 2
 
-    common = sorted(set(current) & set(baseline))
-    if not common:
-        print("bench-gate: no comparable ok-rows between current and "
-              "baseline", file=sys.stderr)
-        return 2
     missing = sorted(set(baseline) - set(current))
     for key in missing:
         print(f"bench-gate: WARNING baseline row vanished: {key}")
 
     cur_total = sum(current[k] for k in common)
     base_total = sum(baseline[k] for k in common)
-    if cur_total == 0 or base_total == 0:
-        print("bench-gate: zero total wall time; nothing to compare",
-              file=sys.stderr)
-        return 2
-
-    regressions = []
-    for key in common:
-        base_ns = baseline[key]
-        if base_ns < args.floor_ns:
-            continue
-        cur_share = current[key] / cur_total
-        base_share = base_ns / base_total
-        if cur_share > base_share * (1.0 + args.tolerance):
-            regressions.append((key, base_ns, current[key], base_share,
-                                cur_share))
-
     print(f"bench-gate: {len(common)} comparable rows, total min-wall "
           f"{cur_total / 1e6:.1f} ms (baseline {base_total / 1e6:.1f} ms)")
     for key, base_ns, cur_ns, base_share, cur_share in regressions:

@@ -5,6 +5,7 @@
 
 #include "core/registry.hpp"
 #include "lcl/problems/coloring.hpp"
+#include "local/engine_bitset.hpp"
 #include "local/message_engine.hpp"
 #include "support/check.hpp"
 
@@ -23,16 +24,27 @@ namespace {
 /// long-halted neighbor carries the same information as its last message.
 struct ColorReduceAlg {
   using Message = std::int32_t;  // the sender's freshly-final color
+  static constexpr bool kUniformSend = true;  // broadcast once final
 
   const NodeMap<int>& input;
   int palette;
-  NodeMap<int>& out;                // 0 = undecided (doubles as done-bit)
-  std::vector<std::uint8_t> used;   // node-major [n][palette + 1] mask
+  NodeMap<int>& out;  // 0 = undecided (doubles as done-bit)
+  // Node-major [n][palette + 1] seen-color mask, one bit per palette slot
+  // (the v2-era byte mask, 8x denser). Adjacent nodes' mask regions share
+  // words at the boundaries, so writes go through atomic fetch_or and the
+  // candidate scan reads through atomic loads — a neighbor's concurrent
+  // writes only ever touch *its* bits, so v's own bits are stable.
+  WordBitset used;
 
   ColorReduceAlg(const Graph& g, const NodeMap<int>& input_in,
                  int palette_in, NodeMap<int>& out_in)
       : input(input_in), palette(palette_in), out(out_in),
-        used(g.num_nodes() * (static_cast<std::size_t>(palette_in) + 1), 0) {}
+        used(g.num_nodes() * (static_cast<std::size_t>(palette_in) + 1)) {}
+
+  [[nodiscard]] std::size_t mask_base(NodeId v) const {
+    return static_cast<std::size_t>(v) *
+           (static_cast<std::size_t>(palette) + 1);
+  }
 
   std::optional<Message> send(NodeId v, int /*port*/, int /*round*/) {
     if (out[v] == 0) return std::nullopt;
@@ -41,17 +53,16 @@ struct ColorReduceAlg {
 
   template <class Inbox>
   void step(NodeId v, const Inbox& inbox, int round) {
-    std::uint8_t* mask =
-        used.data() + static_cast<std::size_t>(v) *
-                          (static_cast<std::size_t>(palette) + 1);
+    const std::size_t base = mask_base(v);
     for (const auto& m : inbox) {
       if (!m) continue;
       const int nc = static_cast<int>(*m);
-      if (nc >= 1 && nc <= palette) mask[nc] = 1;
+      if (nc >= 1 && nc <= palette)
+        used.set_atomic(base + static_cast<std::size_t>(nc));
     }
     if (input[v] != round) return;
     for (int cand = 1; cand <= palette; ++cand) {
-      if (mask[cand] == 0) {
+      if (!used.test_atomic(base + static_cast<std::size_t>(cand))) {
         out[v] = cand;
         break;
       }
@@ -66,7 +77,8 @@ struct ColorReduceAlg {
 
 ColorReduceResult reduce_to_degree_plus_one(const Graph& g,
                                             const NodeMap<int>& colors,
-                                            int num_colors) {
+                                            int num_colors,
+                                            MessageEngineStats* stats) {
   PADLOCK_REQUIRE(colors.size() == g.num_nodes());
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     PADLOCK_REQUIRE(!g.is_self_loop(e));
@@ -82,7 +94,7 @@ ColorReduceResult reduce_to_degree_plus_one(const Graph& g,
   const std::int64_t budget =
       std::min<std::int64_t>(static_cast<std::int64_t>(num_colors) + 1,
                              std::numeric_limits<int>::max());
-  result.rounds = run_message_rounds(g, alg, budget);
+  result.rounds = run_message_rounds(g, alg, budget, stats);
   return result;
 }
 
@@ -225,13 +237,16 @@ void register_color_reduce_algos(AlgorithmRegistry& r) {
               initial[v] = static_cast<int>(ctx.ids[v]);
               num_colors = std::max(num_colors, initial[v]);
             }
-            const auto res =
-                reduce_to_degree_plus_one(ctx.graph, initial, num_colors);
+            MessageEngineStats es;
+            const auto res = reduce_to_degree_plus_one(ctx.graph, initial,
+                                                       num_colors, &es);
             AlgoResult out{
                 .output = colors_to_labeling(ctx.graph, res.colors),
                 .rounds = RoundReport::uniform(ctx.graph, res.rounds),
                 .stats = {}};
             out.stats.set("initial_colors", num_colors);
+            out.stats.set("engine_bytes_slab", es.bytes_slab);
+            out.stats.set("engine_bytes_state", es.bytes_state);
             return out;
           },
   });

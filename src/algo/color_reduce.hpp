@@ -13,6 +13,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/labels.hpp"
+#include "local/message_engine_stats.hpp"
 
 namespace padlock {
 
@@ -25,7 +26,8 @@ struct ColorReduceResult {
 /// Self-loops make proper coloring impossible; asserts their absence.
 ColorReduceResult reduce_to_degree_plus_one(const Graph& g,
                                             const NodeMap<int>& colors,
-                                            int num_colors);
+                                            int num_colors,
+                                            MessageEngineStats* stats = nullptr);
 
 /// Proper distance-2 coloring (distinct colors within distance 2), greedy,
 /// 1-based. Returns the number of colors used via `num_colors_out`.

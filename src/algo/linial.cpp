@@ -86,16 +86,19 @@ std::uint64_t eval_poly(const Poly& coeff, int k, std::uint64_t x,
 /// picks the smallest evaluation point separating mine from every
 /// neighbor's polynomial.
 struct LinialAlg {
+  // The wire form is the identity: intermediate colors range over the full
+  // id space, so the 8-byte word is already tight (MessageTraits default).
   using Message = std::uint64_t;  // current color
+  static constexpr bool kUniformSend = true;  // broadcast each round
 
   const std::vector<StepParams>& schedule;
   std::vector<std::uint64_t>& color;
-  std::vector<std::int32_t> left;  // per-node rounds remaining
+  std::vector<std::uint8_t> left;  // per-node rounds remaining (log* n ≪ 255)
 
   LinialAlg(std::size_t n, const std::vector<StepParams>& schedule_in,
             std::vector<std::uint64_t>& color_in)
       : schedule(schedule_in), color(color_in),
-        left(n, static_cast<std::int32_t>(schedule_in.size())) {}
+        left(n, static_cast<std::uint8_t>(schedule_in.size())) {}
 
   std::optional<Message> send(NodeId v, int /*port*/, int /*round*/) {
     return color[v];
@@ -167,6 +170,7 @@ LinialResult linial_color(const Graph& g, const IdMap& ids,
     schedule.push_back(sp);
     K = sp.q * sp.q;
   }
+  PADLOCK_ASSERT(schedule.size() <= 255);  // left is a byte counter
   LinialAlg alg(n, schedule, color);
   result.linial_rounds = run_message_rounds(
       g, alg, static_cast<std::int64_t>(schedule.size()) + 1);

@@ -6,6 +6,7 @@
 #include "core/registry.hpp"
 #include "lcl/problems/mis.hpp"
 
+#include "local/engine_bitset.hpp"
 #include "local/message_engine.hpp"
 #include "local/message_engine_v1.hpp"
 #include "support/rng.hpp"
@@ -14,28 +15,39 @@ namespace padlock {
 
 namespace {
 
-enum class MisState : std::uint8_t { kUndecided, kIn, kOut };
-
 struct LubyAlg {
-  using Message = std::pair<std::uint64_t, std::uint64_t>;  // (prio, flag)
+  // Wire layout: one 64-bit word. Odd rounds carry the drawn priority;
+  // even rounds carry the join flag (0/1). The v2-era message was the
+  // (priority, id) pair — 16 slab bytes — but the id only ever broke
+  // priority ties, and the receiver can look the sender's id up locally
+  // (the message on port p comes from neighbor(v, p)), so it no longer
+  // travels. Bit-identical outcomes, half the slab traffic.
+  using Message = std::uint64_t;
+  // Broadcast: the same value goes out on every port (the port-0 guard in
+  // send only dedups the priority draw, which the uniform path preserves).
+  static constexpr bool kUniformSend = true;
 
-  // flag semantics: in odd rounds the message carries (priority, id); in
-  // even rounds it carries (state == kIn, 0).
   const Graph& g;
   const IdMap& ids;
   std::uint64_t seed;
-  std::vector<MisState> state;
+  // Packed node state: decided(v) is done(v); in_set(v) only meaningful
+  // once decided. Written only by v's own send/step — phases chunk on word
+  // boundaries, so plain bit stores are single-writer.
+  WordBitset decided;
+  WordBitset in_set;
   std::vector<std::uint64_t> prio;
 
   LubyAlg(const Graph& g_in, const IdMap& ids_in, std::uint64_t seed_in)
-      : g(g_in), ids(ids_in), seed(seed_in) {
-    state.assign(g.num_nodes(), MisState::kUndecided);
-    prio.assign(g.num_nodes(), 0);
-  }
+      : g(g_in),
+        ids(ids_in),
+        seed(seed_in),
+        decided(g_in.num_nodes()),
+        in_set(g_in.num_nodes()),
+        prio(g_in.num_nodes(), 0) {}
 
   std::optional<Message> send(NodeId v, int port, int round) {
     if (round % 2 == 1) {
-      if (state[v] != MisState::kUndecided) return std::nullopt;
+      if (decided.test(v)) return std::nullopt;
       // Fresh randomness each iteration, derived deterministically. Ports
       // are visited in ascending order within one send phase, so the draw
       // happens once per node per iteration, not once per port.
@@ -44,36 +56,43 @@ struct LubyAlg {
                               ids[v]));
         prio[v] = rng();
       }
-      return Message{prio[v], ids[v]};
+      return prio[v];
     }
-    return Message{state[v] == MisState::kIn ? 1 : 0, 0};
+    return Message{decided.test(v) && in_set.test(v) ? 1u : 0u};
   }
 
-  // Inbox-shape agnostic (engine v1 optional spans and engine v2 slab
-  // views both satisfy the optional-like per-port protocol).
+  // Inbox-shape agnostic (engine v1 optional spans and the v2/v3 slab
+  // views all satisfy the optional-like per-port protocol).
   template <class Inbox>
   void step(NodeId v, const Inbox& inbox, int round) {
-    if (state[v] != MisState::kUndecided) return;
+    if (decided.test(v)) return;
     if (round % 2 == 1) {
-      // Join if strictly minimal among undecided neighbors (ties by id).
-      for (const auto& m : inbox) {
+      // Join if strictly minimal among undecided neighbors (ties by id,
+      // resolved against the locally known neighbor id).
+      const int ports = inbox.size();
+      for (int p = 0; p < ports; ++p) {
+        const auto m = inbox[p];
         if (!m) continue;
-        const auto [p, id] = *m;
-        if (std::pair(p, id) < std::pair(prio[v], ids[v])) return;
-        PADLOCK_ASSERT(id != ids[v]);
+        if (*m < prio[v]) return;
+        if (*m == prio[v]) {
+          const std::uint64_t nid = ids[g.neighbor(v, p)];
+          PADLOCK_ASSERT(nid != ids[v]);
+          if (nid < ids[v]) return;
+        }
       }
-      state[v] = MisState::kIn;
+      decided.set(v);
+      in_set.set(v);
     } else {
       for (const auto& m : inbox) {
-        if (m && m->first == 1) {
-          state[v] = MisState::kOut;
+        if (m && *m == 1) {
+          decided.set(v);
           return;
         }
       }
     }
   }
 
-  bool done(NodeId v) const { return state[v] != MisState::kUndecided; }
+  bool done(NodeId v) const { return decided.test(v); }
 };
 
 /// Round budget shared by both engines, computed in 64-bit: the old
@@ -93,16 +112,17 @@ void check_luby_preconditions(const Graph& g, const IdMap& ids) {
 MisResult collect(const Graph& g, const LubyAlg& alg, int rounds) {
   MisResult result{NodeMap<bool>(g, false), rounds};
   for (NodeId v = 0; v < g.num_nodes(); ++v)
-    result.in_set[v] = alg.state[v] == MisState::kIn;
+    result.in_set[v] = alg.in_set.test(v);
   return result;
 }
 
 }  // namespace
 
-MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed) {
+MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed,
+                   MessageEngineStats* stats) {
   check_luby_preconditions(g, ids);
   LubyAlg alg(g, ids, seed);
-  const int rounds = run_message_rounds(g, alg, luby_round_budget(g));
+  const int rounds = run_message_rounds(g, alg, luby_round_budget(g), stats);
   return collect(g, alg, rounds);
 }
 
@@ -124,11 +144,15 @@ void register_luby_mis_algos(AlgorithmRegistry& r) {
       .precondition = graph_loop_free,
       .solve =
           [](const RunContext& ctx) {
-            const auto res = luby_mis(ctx.graph, ctx.ids, ctx.seed);
-            return AlgoResult{
+            MessageEngineStats es;
+            const auto res = luby_mis(ctx.graph, ctx.ids, ctx.seed, &es);
+            AlgoResult out{
                 .output = mis_to_labeling(ctx.graph, res.in_set),
                 .rounds = RoundReport::uniform(ctx.graph, res.rounds),
                 .stats = {}};
+            out.stats.set("engine_bytes_slab", es.bytes_slab);
+            out.stats.set("engine_bytes_state", es.bytes_state);
+            return out;
           },
   });
 }

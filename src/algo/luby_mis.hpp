@@ -13,6 +13,7 @@
 #include "graph/graph.hpp"
 #include "graph/labels.hpp"
 #include "local/ids.hpp"
+#include "local/message_engine_stats.hpp"
 
 namespace padlock {
 
@@ -21,7 +22,8 @@ struct MisResult {
   int rounds = 0;
 };
 
-MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed);
+MisResult luby_mis(const Graph& g, const IdMap& ids, std::uint64_t seed,
+                   MessageEngineStats* stats = nullptr);
 
 /// Test/bench oracle: the same Luby state machine executed by the retired
 /// v1 engine (local/message_engine_v1.hpp). Bit-identical to luby_mis by

@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "local/engine_bitset.hpp"
 #include "local/message_engine.hpp"
 #include "local/message_engine_v1.hpp"
 #include "support/rng.hpp"
@@ -17,25 +18,33 @@ namespace padlock {
 namespace {
 
 // Shared port bookkeeping of both matching state machines: a per-port
-// "dead" byte (self-loop, or the neighbor across it announced it matched)
+// "dead" bit (self-loop, or the neighbor across it announced it matched)
 // in node-major CSR order plus a live-port counter, so one node's ports
-// are one contiguous byte run. A node retires once no live port remains —
+// are one contiguous bit run. A node retires once no live port remains —
 // every neighbor is matched, so maximality cannot be improved through it.
+//
+// The dead bitset is port-indexed, so adjacent nodes' port runs share
+// words at chunk boundaries of a pooled step phase; kill() therefore goes
+// through an atomic fetch_or (ORs of per-node-disjoint masks commute —
+// bit-identical for any thread count). Only step(v) kills v's ports, so
+// the returned previous bit is exact and the live counter stays a plain
+// per-node write. is_live() is only called from phases in which no one
+// writes (send) or on the caller's own bits, so the plain read is safe.
 struct PortLiveness {
   std::vector<std::size_t> offset;  // CSR: ports of v at [offset[v], ...)
-  std::vector<std::uint8_t> dead;
+  WordBitset dead;
   std::vector<std::int32_t> live;  // per-node live-port count
 
   explicit PortLiveness(const Graph& g)
       : offset(g.num_nodes() + 1, 0),
-        dead(2 * g.num_edges(), 0),
+        dead(2 * g.num_edges()),
         live(g.num_nodes(), 0) {
     std::size_t at = 0;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       offset[v] = at;
       int count = 0;
       for (const HalfEdge h : g.incident(v)) {
-        if (g.is_self_loop(h.edge)) dead[at] = 1;
+        if (g.is_self_loop(h.edge)) dead.set(at);
         else ++count;
         ++at;
       }
@@ -45,19 +54,19 @@ struct PortLiveness {
   }
 
   void kill(NodeId v, int port) {
-    std::uint8_t& d = dead[offset[v] + static_cast<std::size_t>(port)];
-    if (d == 0) {
-      d = 1;
-      --live[v];
-    }
+    const std::size_t i = offset[v] + static_cast<std::size_t>(port);
+    if (!dead.fetch_set_atomic(i)) --live[v];
   }
 
   [[nodiscard]] bool is_live(NodeId v, int port) const {
-    return dead[offset[v] + static_cast<std::size_t>(port)] == 0;
+    return !dead.test(offset[v] + static_cast<std::size_t>(port));
   }
 };
 
-enum class MatchState : std::uint8_t { kActive, kMatched, kRetired };
+// Node lifecycle of both machines, packed into two node-indexed bitsets
+// (written only by the node's own step — plain stores under word-chunked
+// phases): halted(v) is done(v); matched(v) distinguishes a matched halt
+// from a retired one (no live ports left).
 
 // ---- randomized propose-accept ---------------------------------------------
 //
@@ -90,11 +99,26 @@ struct ProposeAcceptAlg {
   static constexpr std::uint8_t kConfirm = 3;
   static constexpr std::uint8_t kMatchedFlag = 4;
 
+  // Wire layout: type in the low 3 bits, the proposer id in the high 61 —
+  // 8 slab bytes instead of the padded 16-byte struct. Ids are bounded by
+  // the id space (poly(n)), far below 2^61; pack asserts it.
+  struct Wire {
+    using Packed = std::uint64_t;
+    static Packed pack(const Message& m) {
+      PADLOCK_ASSERT(m.id < (std::uint64_t{1} << 61));
+      return (m.id << 3) | m.type;
+    }
+    static Message unpack(Packed p) {
+      return Msg{static_cast<std::uint8_t>(p & 7), p >> 3};
+    }
+  };
+
   const Graph& g;
   const IdMap& ids;
   std::uint64_t seed;
   PortLiveness ports;
-  std::vector<MatchState> state;
+  WordBitset halted;   // done(v)
+  WordBitset matched;  // halted and holding a matching edge
   std::vector<std::int32_t> proposal_port;  // this iteration, -1 = none
   std::vector<std::int32_t> accept_port;    // this iteration, -1 = none
   std::vector<std::int32_t> matched_port;   // -1 until matched
@@ -102,7 +126,8 @@ struct ProposeAcceptAlg {
   ProposeAcceptAlg(const Graph& g_in, const IdMap& ids_in,
                    std::uint64_t seed_in)
       : g(g_in), ids(ids_in), seed(seed_in), ports(g_in),
-        state(g_in.num_nodes(), MatchState::kActive),
+        halted(g_in.num_nodes()),
+        matched(g_in.num_nodes()),
         proposal_port(g_in.num_nodes(), -1),
         accept_port(g_in.num_nodes(), -1),
         matched_port(g_in.num_nodes(), -1) {}
@@ -113,13 +138,13 @@ struct ProposeAcceptAlg {
   }
 
   std::optional<Message> send(NodeId v, int port, int round) {
-    if (state[v] == MatchState::kMatched) {
+    if (matched.test(v)) {
       // Drain round: confirm toward the matching partner, announce the
       // match everywhere else.
       if (port == matched_port[v]) return Msg{kConfirm, 0};
       return Msg{kMatchedFlag, 0};
     }
-    if (state[v] == MatchState::kRetired) return std::nullopt;
+    if (halted.test(v)) return std::nullopt;  // retired
     switch (phase(round)) {
       case 0: {  // propose
         if (ports.live[v] <= 0) return std::nullopt;
@@ -154,16 +179,16 @@ struct ProposeAcceptAlg {
 
   template <class Inbox>
   void step(NodeId v, const Inbox& inbox, int round) {
-    // The v2 engine only steps active nodes; the guard keeps the v1
+    // The v2/v3 engines only step active nodes; the guard keeps the v1
     // oracle (which steps everyone) equivalent.
-    if (state[v] != MatchState::kActive) return;
+    if (halted.test(v)) return;
     // One pass over the inbox per phase: matched neighbors' one-shot
     // announcements prune ports, and the phase's own message is picked up
     // in the same scan (a port carries at most one message per round).
     switch (phase(round)) {
       case 0: {  // collect proposals
         std::uint64_t best_id = 0;
-        for (int p = 0; p < inbox.size(); ++p) {
+        for (int p = 0; p < static_cast<int>(inbox.size()); ++p) {
           const auto m = inbox[p];
           if (!m) continue;
           if (m->type == kMatchedFlag) {
@@ -179,7 +204,7 @@ struct ProposeAcceptAlg {
       }
       case 1: {  // proposer side resolves
         bool accepted = false;
-        for (int p = 0; p < inbox.size(); ++p) {
+        for (int p = 0; p < static_cast<int>(inbox.size()); ++p) {
           const auto m = inbox[p];
           if (!m) continue;
           if (m->type == kMatchedFlag) {
@@ -190,14 +215,15 @@ struct ProposeAcceptAlg {
         }
         if (accepted &&
             (accept_port[v] == -1 || accept_port[v] == proposal_port[v])) {
-          state[v] = MatchState::kMatched;
+          halted.set(v);
+          matched.set(v);
           matched_port[v] = proposal_port[v];
         }
         break;
       }
       default: {  // acceptor side resolves; iteration state resets
         bool confirmed = false;
-        for (int p = 0; p < inbox.size(); ++p) {
+        for (int p = 0; p < static_cast<int>(inbox.size()); ++p) {
           const auto m = inbox[p];
           if (!m) continue;
           if (m->type == kMatchedFlag) {
@@ -207,7 +233,8 @@ struct ProposeAcceptAlg {
           }
         }
         if (confirmed) {
-          state[v] = MatchState::kMatched;
+          halted.set(v);
+          matched.set(v);
           matched_port[v] = accept_port[v];
         }
         proposal_port[v] = -1;
@@ -215,11 +242,10 @@ struct ProposeAcceptAlg {
         break;
       }
     }
-    if (state[v] == MatchState::kActive && ports.live[v] <= 0)
-      state[v] = MatchState::kRetired;
+    if (!halted.test(v) && ports.live[v] <= 0) halted.set(v);  // retire
   }
 
-  bool done(NodeId v) const { return state[v] != MatchState::kActive; }
+  bool done(NodeId v) const { return halted.test(v); }
 };
 
 // ---- deterministic color-greedy --------------------------------------------
@@ -240,22 +266,41 @@ struct ColorGreedyAlg {
   static constexpr std::uint8_t kAccept = 2;
   static constexpr std::uint8_t kMatchedFlag = 3;
 
+  // Wire layout: type in the low 2 bits, the grabber NodeId in the high 30
+  // of one 32-bit word — 4 slab bytes instead of 8. The grabber field only
+  // travels on kGrab; the other types unpack it back to kNoNode.
+  struct Wire {
+    using Packed = std::uint32_t;
+    static Packed pack(const Message& m) {
+      if (m.type != kGrab) return m.type;
+      PADLOCK_ASSERT(m.grabber < (NodeId{1} << 30));
+      return (static_cast<std::uint32_t>(m.grabber) << 2) | m.type;
+    }
+    static Message unpack(Packed p) {
+      const auto type = static_cast<std::uint8_t>(p & 3);
+      return Msg{type,
+                 type == kGrab ? static_cast<NodeId>(p >> 2) : kNoNode};
+    }
+  };
+
   const Graph& g;
   const NodeMap<int>& colors;
   int num_colors;
   PortLiveness ports;
-  std::vector<MatchState> state;
+  WordBitset halted;             // done(v)
+  WordBitset matched;            // halted and holding a matching edge
+  WordBitset matched_as_target;  // accepted a grab (vs grabbed itself)
   std::vector<std::int32_t> grab_port;     // this turn, -1 = none
   std::vector<std::int32_t> matched_port;  // -1 until matched
-  std::vector<std::uint8_t> matched_as_target;
 
   ColorGreedyAlg(const Graph& g_in, const NodeMap<int>& colors_in,
                  int num_colors_in)
       : g(g_in), colors(colors_in), num_colors(num_colors_in), ports(g_in),
-        state(g_in.num_nodes(), MatchState::kActive),
+        halted(g_in.num_nodes()),
+        matched(g_in.num_nodes()),
+        matched_as_target(g_in.num_nodes()),
         grab_port(g_in.num_nodes(), -1),
-        matched_port(g_in.num_nodes(), -1),
-        matched_as_target(g_in.num_nodes(), 0) {}
+        matched_port(g_in.num_nodes(), -1) {}
 
   static int phase(int round) { return (round - 1) % 3; }
   [[nodiscard]] int turn_color(int round) const {
@@ -264,16 +309,16 @@ struct ColorGreedyAlg {
   }
 
   std::optional<Message> send(NodeId v, int port, int round) {
-    if (state[v] == MatchState::kMatched) {
+    if (matched.test(v)) {
       // Drain round. A target's drain is the accept phase of its turn: it
       // accepts on the winning port and announces everywhere else. A
       // grabber learned of its match from that accept, so its partner is
       // already gone — it only announces.
-      if (matched_as_target[v] != 0 && port == matched_port[v])
+      if (matched_as_target.test(v) && port == matched_port[v])
         return Msg{kAccept, kNoNode};
       return Msg{kMatchedFlag, kNoNode};
     }
-    if (state[v] == MatchState::kRetired) return std::nullopt;
+    if (halted.test(v)) return std::nullopt;  // retired
     if (phase(round) != 0 || colors[v] != turn_color(round) ||
         ports.live[v] <= 0) {
       return std::nullopt;
@@ -292,16 +337,16 @@ struct ColorGreedyAlg {
 
   template <class Inbox>
   void step(NodeId v, const Inbox& inbox, int round) {
-    // The v2 engine only steps active nodes; the guard keeps the v1
+    // The v2/v3 engines only step active nodes; the guard keeps the v1
     // oracle (which steps everyone) equivalent.
-    if (state[v] != MatchState::kActive) return;
+    if (halted.test(v)) return;
     // One pass per phase: announcements prune ports, the phase's own
     // message rides the same scan.
     const int ph = phase(round);
     std::int32_t best_port = -1;
     NodeId best_grabber = kNoNode;
     bool accepted = false;
-    for (int p = 0; p < inbox.size(); ++p) {
+    for (int p = 0; p < static_cast<int>(inbox.size()); ++p) {
       const auto m = inbox[p];
       if (!m) continue;
       if (m->type == kMatchedFlag) {
@@ -317,21 +362,22 @@ struct ColorGreedyAlg {
       }
     }
     if (ph == 0 && best_port >= 0) {
-      state[v] = MatchState::kMatched;
+      halted.set(v);
+      matched.set(v);
       matched_port[v] = best_port;
-      matched_as_target[v] = 1;
+      matched_as_target.set(v);
     } else if (ph == 1) {
       if (accepted) {
-        state[v] = MatchState::kMatched;
+        halted.set(v);
+        matched.set(v);
         matched_port[v] = grab_port[v];
       }
       grab_port[v] = -1;
     }
-    if (state[v] == MatchState::kActive && ports.live[v] <= 0)
-      state[v] = MatchState::kRetired;
+    if (!halted.test(v) && ports.live[v] <= 0) halted.set(v);  // retire
   }
 
-  bool done(NodeId v) const { return state[v] != MatchState::kActive; }
+  bool done(NodeId v) const { return halted.test(v); }
 };
 
 /// Serial post-pass: fold per-node matched ports into the edge set (each
@@ -366,10 +412,12 @@ std::int64_t propose_accept_budget(const Graph& g) {
 }  // namespace
 
 MatchingResult randomized_matching(const Graph& g, const IdMap& ids,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed,
+                                   MessageEngineStats* stats) {
   PADLOCK_REQUIRE(ids_valid(g, ids));
   ProposeAcceptAlg alg(g, ids, seed);
-  const int rounds = run_message_rounds(g, alg, propose_accept_budget(g));
+  const int rounds =
+      run_message_rounds(g, alg, propose_accept_budget(g), stats);
   return MatchingResult{collect_matching(g, alg), rounds};
 }
 
@@ -386,7 +434,8 @@ MatchingResult randomized_matching_v1(const Graph& g, const IdMap& ids,
 
 MatchingResult matching_from_coloring(const Graph& g,
                                       const NodeMap<int>& colors,
-                                      int num_colors) {
+                                      int num_colors,
+                                      MessageEngineStats* stats) {
   PADLOCK_REQUIRE(colors.size() == g.num_nodes());
   PADLOCK_REQUIRE(num_colors >= 1);
   ColorGreedyAlg alg(g, colors, num_colors);
@@ -395,7 +444,7 @@ MatchingResult matching_from_coloring(const Graph& g,
   const std::int64_t budget = clamp_budget(
       3 * static_cast<std::int64_t>(num_colors) *
           (static_cast<std::int64_t>(g.max_degree()) + 3) + 3);
-  const int rounds = run_message_rounds(g, alg, budget);
+  const int rounds = run_message_rounds(g, alg, budget, stats);
   return MatchingResult{collect_matching(g, alg), rounds};
 }
 
@@ -410,11 +459,16 @@ void register_matching_algos(AlgorithmRegistry& r) {
       .precondition = nullptr,
       .solve =
           [](const RunContext& ctx) {
-            const auto res = randomized_matching(ctx.graph, ctx.ids, ctx.seed);
-            return AlgoResult{
+            MessageEngineStats es;
+            const auto res =
+                randomized_matching(ctx.graph, ctx.ids, ctx.seed, &es);
+            AlgoResult out{
                 .output = matching_to_labeling(ctx.graph, res.in_match),
                 .rounds = RoundReport::uniform(ctx.graph, res.rounds),
                 .stats = {}};
+            out.stats.set("engine_bytes_slab", es.bytes_slab);
+            out.stats.set("engine_bytes_state", es.bytes_state);
+            return out;
           },
   });
   r.register_algo({
@@ -427,8 +481,9 @@ void register_matching_algos(AlgorithmRegistry& r) {
       .solve =
           [](const RunContext& ctx) {
             const auto col = linial_color(ctx.graph, ctx.ids, ctx.id_space);
+            MessageEngineStats es;
             const auto res = matching_from_coloring(
-                ctx.graph, col.colors, ctx.graph.max_degree() + 1);
+                ctx.graph, col.colors, ctx.graph.max_degree() + 1, &es);
             AlgoResult out{
                 .output = matching_to_labeling(ctx.graph, res.in_match),
                 .rounds = RoundReport::uniform(
@@ -436,6 +491,8 @@ void register_matching_algos(AlgorithmRegistry& r) {
                 .stats = {}};
             out.stats.set("coloring_rounds", col.total_rounds());
             out.stats.set("greedy_rounds", res.rounds);
+            out.stats.set("engine_bytes_slab", es.bytes_slab);
+            out.stats.set("engine_bytes_state", es.bytes_state);
             return out;
           },
   });

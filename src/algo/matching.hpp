@@ -20,6 +20,7 @@
 #include "graph/graph.hpp"
 #include "graph/labels.hpp"
 #include "local/ids.hpp"
+#include "local/message_engine_stats.hpp"
 
 namespace padlock {
 
@@ -29,7 +30,8 @@ struct MatchingResult {
 };
 
 MatchingResult randomized_matching(const Graph& g, const IdMap& ids,
-                                   std::uint64_t seed);
+                                   std::uint64_t seed,
+                                   MessageEngineStats* stats = nullptr);
 
 /// Test/bench oracle: the same propose/accept state machine executed by the
 /// retired v1 engine (local/message_engine_v1.hpp). Bit-identical output by
@@ -39,7 +41,8 @@ MatchingResult randomized_matching_v1(const Graph& g, const IdMap& ids,
 
 MatchingResult matching_from_coloring(const Graph& g,
                                       const NodeMap<int>& colors,
-                                      int num_colors);
+                                      int num_colors,
+                                      MessageEngineStats* stats = nullptr);
 
 class AlgorithmRegistry;
 

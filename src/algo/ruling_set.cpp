@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/metrics.hpp"
+#include "local/engine_bitset.hpp"
 #include "local/message_engine.hpp"
 #include "support/check.hpp"
 
@@ -32,16 +33,35 @@ int id_bits(std::uint64_t id_space) {
 /// 0-side survivor of its own prefix class from that single message.
 struct AglpAlg {
   using Message = std::pair<std::uint64_t, std::uint8_t>;  // (id, in_set)
+  static constexpr bool kUniformSend = true;  // broadcast each round
+
+  // Wire layout: membership in bit 0, the id in the high 63 — 8 slab
+  // bytes instead of the padded 16-byte pair. Ids are bounded by the id
+  // space (poly(n)), far below 2^63; pack asserts it.
+  struct Wire {
+    using Packed = std::uint64_t;
+    static Packed pack(const Message& m) {
+      PADLOCK_ASSERT(m.first < (std::uint64_t{1} << 63));
+      return (m.first << 1) | (m.second & 1u);
+    }
+    static Message unpack(Packed p) {
+      return Message{p >> 1, static_cast<std::uint8_t>(p & 1u)};
+    }
+  };
 
   const IdMap& ids;
-  std::vector<std::uint8_t> in_set;  // current-level membership
-  std::vector<std::int32_t> left;    // per-node levels remaining
+  WordBitset in_set;               // current-level membership (starts full)
+  std::vector<std::uint8_t> left;  // per-node levels remaining (≤ 64)
 
   AglpAlg(std::size_t n, const IdMap& ids_in, int bits)
-      : ids(ids_in), in_set(n, 1), left(n, bits) {}
+      : ids(ids_in),
+        in_set(n),
+        left(n, static_cast<std::uint8_t>(bits)) {
+    for (std::size_t v = 0; v < n; ++v) in_set.set(v);
+  }
 
   std::optional<Message> send(NodeId v, int /*port*/, int /*round*/) {
-    return Message{ids[v], in_set[v]};
+    return Message{ids[v], in_set.test(v) ? std::uint8_t{1} : std::uint8_t{0}};
   }
 
   template <class Inbox>
@@ -50,7 +70,7 @@ struct AglpAlg {
     --left[v];
     // 0-side survivors carry over unconditionally; 0-side non-members and
     // 1-side non-members stay out.
-    if (((ids[v] >> k) & 1u) == 0 || in_set[v] == 0) return;
+    if (((ids[v] >> k) & 1u) == 0 || !in_set.test(v)) return;
     // 1-side survivors stay iff no 0-side survivor *of the same prefix
     // class* is within distance 1 of them. The prefix comparison makes the
     // merge local: a neighbor from a different class never interferes.
@@ -59,7 +79,7 @@ struct AglpAlg {
       if (!m) continue;
       const auto [uid, uin] = *m;
       if (uin != 0 && ((uid >> k) & 1u) == 0 && (uid >> (k + 1)) == prefix) {
-        in_set[v] = 0;
+        in_set.reset(v);
         return;
       }
     }
@@ -71,7 +91,8 @@ struct AglpAlg {
 }  // namespace
 
 RulingSetResult ruling_set_aglp(const Graph& g, const IdMap& ids,
-                                std::uint64_t id_space) {
+                                std::uint64_t id_space,
+                                MessageEngineStats* stats) {
   PADLOCK_REQUIRE(ids_valid(g, ids));
   const std::size_t n = g.num_nodes();
   const int bits = id_bits(id_space);
@@ -83,8 +104,9 @@ RulingSetResult ruling_set_aglp(const Graph& g, const IdMap& ids,
   // Recursion unrolled bottom-up over bit positions, one engine round per
   // level (level 0: every node rules its singleton id class).
   AglpAlg alg(n, ids, bits);
-  res.rounds = run_message_rounds(g, alg, static_cast<std::int64_t>(bits) + 1);
-  for (NodeId v = 0; v < n; ++v) res.in_set[v] = alg.in_set[v] != 0;
+  res.rounds = run_message_rounds(g, alg, static_cast<std::int64_t>(bits) + 1,
+                                  stats);
+  for (NodeId v = 0; v < n; ++v) res.in_set[v] = alg.in_set.test(v);
   res.domination_radius = ruling_set_domination(g, res.in_set);
   return res;
 }
@@ -131,8 +153,9 @@ void register_ruling_set_algos(AlgorithmRegistry& r) {
       .precondition = nullptr,
       .solve =
           [](const RunContext& ctx) {
+            MessageEngineStats es;
             const auto res =
-                ruling_set_aglp(ctx.graph, ctx.ids, ctx.id_space);
+                ruling_set_aglp(ctx.graph, ctx.ids, ctx.id_space, &es);
             NeLabeling output(ctx.graph);
             for (NodeId v = 0; v < ctx.graph.num_nodes(); ++v) {
               output.node[v] = res.in_set[v] ? 2 : 1;
@@ -142,6 +165,8 @@ void register_ruling_set_algos(AlgorithmRegistry& r) {
                                RoundReport::uniform(ctx.graph, res.rounds),
                            .stats = {}};
             out.stats.set("domination_radius", res.domination_radius);
+            out.stats.set("engine_bytes_slab", es.bytes_slab);
+            out.stats.set("engine_bytes_state", es.bytes_state);
             return out;
           },
   });

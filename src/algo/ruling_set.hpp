@@ -25,6 +25,7 @@
 #include "graph/graph.hpp"
 #include "graph/labels.hpp"
 #include "local/ids.hpp"
+#include "local/message_engine_stats.hpp"
 
 namespace padlock {
 
@@ -41,7 +42,8 @@ struct RulingSetResult {
 /// `id_space` is the upper end of the id range the schedule is planned for
 /// (ids must satisfy 1 <= id <= id_space).
 RulingSetResult ruling_set_aglp(const Graph& g, const IdMap& ids,
-                                std::uint64_t id_space);
+                                std::uint64_t id_space,
+                                MessageEngineStats* stats = nullptr);
 
 /// Independence check: true iff all pairwise distances within `set` are
 /// >= alpha. O(|R| * m).

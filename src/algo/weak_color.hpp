@@ -24,6 +24,7 @@
 #include "graph/graph.hpp"
 #include "graph/labels.hpp"
 #include "local/ids.hpp"
+#include "local/message_engine_stats.hpp"
 
 namespace padlock {
 
@@ -35,7 +36,8 @@ struct WeakColorResult {
 };
 
 WeakColorResult weak_2color(const Graph& g, const IdMap& ids,
-                            std::uint64_t id_space);
+                            std::uint64_t id_space,
+                            MessageEngineStats* stats = nullptr);
 
 class AlgorithmRegistry;
 

@@ -526,6 +526,19 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Derived throughput column: edge traversals per second, counting one
+/// traversal per edge per round (rounds == 0 rows — builders, loaders —
+/// count one pass over the edge set). 0 when the row carries no edge count
+/// or no timing.
+std::uint64_t edges_per_sec(const SweepRow& row) {
+  if (row.edges == 0 || row.wall_ns_min == 0) return 0;
+  const double traversals =
+      static_cast<double>(row.edges) *
+      static_cast<double>(row.rounds > 0 ? row.rounds : 1);
+  return static_cast<std::uint64_t>(
+      traversals * 1e9 / static_cast<double>(row.wall_ns_min));
+}
+
 }  // namespace
 
 std::string to_json(const SweepOutcome& outcome) {
@@ -554,7 +567,19 @@ std::string to_json(const SweepOutcome& outcome) {
     }
     out << ", \"repeat\": " << row.repeat
         << ", \"wall_ns_min\": " << row.wall_ns_min
-        << ", \"wall_ns_median\": " << row.wall_ns_median << "}";
+        << ", \"wall_ns_median\": " << row.wall_ns_median
+        << ", \"edges_per_sec\": " << edges_per_sec(row);
+    if (!row.stats.entries.empty()) {
+      out << ", \"stats\": {";
+      bool first_stat = true;
+      for (const auto& [key, value] : row.stats.entries) {
+        if (!first_stat) out << ", ";
+        first_stat = false;
+        out << "\"" << json_escape(key) << "\": " << value;
+      }
+      out << "}";
+    }
+    out << "}";
   }
   out << "\n]}\n";
   return out.str();

@@ -233,7 +233,12 @@ SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
 ///
 /// Every row is emitted (skipped rows included, with "skipped": true), one
 /// object per row: problem, algo, family, nodes, edges, rounds, status, ok,
-/// skipped, note?, error?, repeat, wall_ns_min, wall_ns_median.
+/// skipped, note?, error?, repeat, wall_ns_min, wall_ns_median,
+/// edges_per_sec (derived throughput: edge traversals per second, one per
+/// edge per round — rows without an edge count or timing report 0), and
+/// stats (the row's counter entries as one flat object, e.g. the engine's
+/// resident footprint engine_bytes_slab/engine_bytes_state; omitted when
+/// the row has no counters).
 /// Strings are escaped, so quotes/backslashes/control characters in names
 /// or error messages cannot corrupt the output. The exact byte layout is
 /// pinned by the golden-snapshot test (tests/sweep_json_test.cpp); changing

@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace padlock {
 
@@ -55,6 +56,7 @@ Graph GraphBuilder::build() && {
   g.ports_ = std::move(ports);
   g.endpoints_ = std::move(endpoints_);
   g.side_port_ = std::move(side_port);
+  g.finalize_peer_ports();
   return g;
 }
 
@@ -72,7 +74,20 @@ Graph Graph::adopt(Slab<std::size_t> first_port, Slab<HalfEdge> ports,
   g.endpoints_ = std::move(endpoints);
   g.side_port_ = std::move(side_port);
   g.max_degree_ = max_degree;
+  g.finalize_peer_ports();
   return g;
+}
+
+void Graph::finalize_peer_ports() {
+  const std::size_t slots = ports_.size();
+  PADLOCK_REQUIRE(slots <= std::numeric_limits<std::uint32_t>::max());
+  peer_port_.resize(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    const HalfEdge o = opposite(ports_[i]);
+    const NodeId w = endpoint(o.edge, o.side);
+    peer_port_[i] = static_cast<std::uint32_t>(
+        first_port_[w] + static_cast<std::size_t>(port_of(o)));
+  }
 }
 
 }  // namespace padlock

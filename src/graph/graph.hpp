@@ -209,6 +209,32 @@ class Graph {
     return PortRange(base + first_port_[v], base + first_port_[v + 1]);
   }
 
+  /// CSR position of v's first port: v's ports occupy positions
+  /// [port_offset(v), port_offset(v) + degree(v)) of the port slab — the
+  /// contiguous per-node range the message engine's slot layout is built
+  /// on (local/message_engine.hpp).
+  [[nodiscard]] std::size_t port_offset(NodeId v) const {
+    PADLOCK_REQUIRE(v < num_nodes());
+    return first_port_[v];
+  }
+
+  /// Unchecked (port_offset, degree) pair — the engine's per-node hot
+  /// path, where v comes from a frontier bitset that only ever holds valid
+  /// ids. Every other caller should use the checked accessors.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> port_span(NodeId v) const {
+    const std::size_t o = first_port_[v];
+    return {o, first_port_[v + 1] - o};
+  }
+
+  /// CSR position of the *other* side of each port's edge: peer_port()[i]
+  /// is where the neighbor reached through the port at CSR position i
+  /// keeps its own half of that edge. Precomputed at assembly (build /
+  /// adopt) so the engine's read path is one contiguous 4-byte load per
+  /// port instead of an endpoint + side-port lookup chain.
+  [[nodiscard]] const std::uint32_t* peer_port() const {
+    return peer_port_.data();
+  }
+
   /// Trusted assembly from pre-built CSR slabs — the entry point of the
   /// store's mmap loader (store/pg.hpp), which hands in views over a mapped
   /// `.pg` payload. Cross-referential invariants (first_port monotone and
@@ -223,6 +249,9 @@ class Graph {
  private:
   friend class GraphBuilder;
 
+  /// Fills peer_port_ from the assembled CSR slabs (see peer_port()).
+  void finalize_peer_ports();
+
   // CSR layout of ports: ports of node v live at
   // ports_[first_port_[v] .. first_port_[v+1]).
   Slab<std::size_t> first_port_;
@@ -230,6 +259,7 @@ class Graph {
   Slab<std::pair<NodeId, NodeId>> endpoints_;
   // Per edge: (port at side-0 endpoint, port at side-1 endpoint).
   Slab<std::pair<int, int>> side_port_;
+  std::vector<std::uint32_t> peer_port_;
   int max_degree_ = 0;
 };
 

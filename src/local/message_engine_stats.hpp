@@ -1,0 +1,31 @@
+// Run-level counters shared by every generation of the round executor
+// (v1 oracle, v2 oracle, v3 — see local/message_engine.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace padlock {
+
+/// Counters of one run_message_rounds execution (queried by tests and
+/// benches; pass nullptr to skip).
+struct MessageEngineStats {
+  std::int64_t rounds = 0;
+  std::int64_t node_steps = 0;   // total step() invocations = Σ_r |active_r|
+  std::int64_t node_sends = 0;   // total send-phase node visits (incl. drain)
+  std::size_t peak_active = 0;   // |frontier| of the busiest round
+
+  // Resident engine footprint, the layout-win gauge of engine v3: the
+  // message slab + presence map (bytes_slab) and the frontier/drain
+  // bookkeeping (bytes_state). Both are fixed at run start — per-round
+  // cost tracks these bytes, so sweeps surface them in their JSON rows.
+  std::int64_t bytes_slab = 0;
+  std::int64_t bytes_state = 0;
+
+  // Phase-dispatch accounting (filled by v3 only): how many send/step
+  // phases ran through the thread pool vs inline. The near-empty-frontier
+  // heuristic is pinned through these (tiny frontiers must never pool).
+  std::int64_t pooled_phases = 0;
+  std::int64_t serial_phases = 0;
+};
+
+}  // namespace padlock

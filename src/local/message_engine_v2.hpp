@@ -1,0 +1,222 @@
+// The retired v2 round executor — PR 5's zero-allocation pooled engine —
+// kept verbatim as the golden oracle of the engine-v3 layout migration
+// (local/message_engine.hpp), exactly like the v1 executor
+// (local/message_engine_v1.hpp) served the v2 migration. Tests pin v3
+// bit-identity (outputs + rounds) against it for every registered pair,
+// and bench_micro's engine/v2 ramp rows are the reference the v3 win is
+// measured against. Do not use it in new code.
+//
+// Execution model (what replaced the v1 executor, and what v3 keeps):
+//
+//  * One flat Message slab plus a per-half-edge round-stamp slab (the
+//    presence map: a slot holds a message this round iff its stamp equals
+//    the current round), allocated once per run and reused across rounds —
+//    no per-round or per-node inbox materialization, and silence costs
+//    zero writes: an unsent port simply keeps a stale stamp, so halted
+//    nodes' slots expire into silence without any clearing pass. The send
+//    phase writes a node's own out-slots; the step phase reads the
+//    opposite slots through a zero-copy MessageInbox view. After warmup
+//    the engine performs zero heap allocations per round (pinned by
+//    tests/message_engine_test.cpp).
+//  * An active frontier instead of an O(n) `all_done` rescan: nodes leave
+//    the frontier the round they halt, so late rounds cost O(active), not
+//    O(n) — Luby/propose-accept frontiers decay geometrically.
+//  * Send and step phases are pooled over support/thread_pool.hpp with the
+//    same per-node-write discipline as run_gather (send/step for v touch
+//    only v's own state and v's own out-slots), so serial and parallel
+//    executions are bit-identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/message_engine_stats.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace padlock {
+
+/// Zero-copy per-node inbox over the v2 engine's message/round-stamp
+/// slabs. inbox[p] is an optional-like reference: contextually bool (did a
+/// message arrive on port p this round?), dereferencing to the Message.
+template <typename M>
+class MessageInbox {
+ public:
+  class Ref {
+   public:
+    explicit operator bool() const { return present_; }
+    const M& operator*() const {
+      PADLOCK_REQUIRE(present_);
+      return *msg_;
+    }
+    const M* operator->() const {
+      PADLOCK_REQUIRE(present_);
+      return msg_;
+    }
+
+   private:
+    friend class MessageInbox;
+    Ref(const M* msg, bool present) : msg_(msg), present_(present) {}
+    const M* msg_;
+    bool present_;
+  };
+
+  class Iterator {
+   public:
+    Ref operator*() const { return inbox_->operator[](port_); }
+    Iterator& operator++() {
+      ++port_;
+      return *this;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.port_ == b.port_;
+    }
+
+   private:
+    friend class MessageInbox;
+    Iterator(const MessageInbox* inbox, int port)
+        : inbox_(inbox), port_(port) {}
+    const MessageInbox* inbox_;
+    int port_;
+  };
+
+  MessageInbox(PortRange ports, const M* slab, const std::int32_t* stamp,
+               std::int32_t round)
+      : ports_(ports), slab_(slab), stamp_(stamp), round_(round) {}
+
+  [[nodiscard]] int size() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] Ref operator[](int port) const {
+    const std::size_t slot = half_edge_index(
+        Graph::opposite(ports_[static_cast<std::size_t>(port)]));
+    return Ref(slab_ + slot, stamp_[slot] == round_);
+  }
+  [[nodiscard]] Iterator begin() const { return Iterator(this, 0); }
+  [[nodiscard]] Iterator end() const { return Iterator(this, size()); }
+
+ private:
+  PortRange ports_;
+  const M* slab_;
+  const std::int32_t* stamp_;
+  std::int32_t round_;
+};
+
+namespace detail {
+
+/// Below this many nodes a v2 phase runs inline: dispatching pool chunks
+/// for a near-empty frontier costs more than the phase itself (and the
+/// serial path is what the zero-allocation-per-round guarantee is pinned
+/// on). Engine v3 replaces this node-count guess with a measured
+/// word-count threshold (see message_engine.hpp).
+inline constexpr std::size_t kEnginePhaseGrain = 1024;
+
+template <typename Body>
+void engine_phase(const std::vector<NodeId>& nodes, const Body& body) {
+  if (resolved_threads() <= 1 || nodes.size() <= kEnginePhaseGrain) {
+    body(std::size_t{0}, nodes.size());
+    return;
+  }
+  // One captured pointer keeps the std::function inside its small-buffer
+  // storage — no per-round heap allocation from the dispatch itself.
+  parallel_for(0, nodes.size(), kEnginePhaseGrain,
+               [&body](std::size_t b, std::size_t e) { body(b, e); });
+}
+
+}  // namespace detail
+
+/// The v2 executor, verbatim (see the file comment). `max_rounds` is the
+/// contract budget — exceeding it throws ContractViolation. Returns the
+/// number of rounds executed. Serial and parallel executions are
+/// bit-identical.
+template <typename Alg>
+int run_message_rounds_v2(const Graph& g, Alg& alg, std::int64_t max_rounds,
+                          MessageEngineStats* stats = nullptr) {
+  using Message = typename Alg::Message;
+
+  const std::size_t n = g.num_nodes();
+  const std::size_t slots = 2 * g.num_edges();
+
+  // Run-scoped buffers; nothing below allocates per round. Stamps start
+  // at 0 and rounds at 1, so every slot begins silent.
+  std::vector<Message> slab(slots);
+  std::vector<std::int32_t> stamp(slots, 0);
+  std::vector<NodeId> frontier, next, drain;
+  frontier.reserve(n);
+  next.reserve(n);
+  drain.reserve(n);
+  for (NodeId v = 0; v < n; ++v)
+    if (!alg.done(v)) frontier.push_back(v);
+
+  MessageEngineStats local;
+  local.bytes_slab = static_cast<std::int64_t>(
+      slots * (sizeof(Message) + sizeof(std::int32_t)));
+  local.bytes_state = static_cast<std::int64_t>(3 * n * sizeof(NodeId));
+  std::int64_t round64 = 0;
+  while (!frontier.empty()) {
+    PADLOCK_REQUIRE(round64 < max_rounds);
+    PADLOCK_REQUIRE(round64 < std::numeric_limits<int>::max());
+    ++round64;
+    const int round = static_cast<int>(round64);
+    local.rounds = round64;
+    local.node_steps += static_cast<std::int64_t>(frontier.size());
+    local.node_sends +=
+        static_cast<std::int64_t>(frontier.size() + drain.size());
+    if (frontier.size() > local.peak_active) local.peak_active =
+        frontier.size();
+
+    // Send phase: active nodes and last round's halters write their own
+    // out-slots (message + round stamp per sent port; silence writes
+    // nothing — the stale stamp already reads as no-message).
+    const auto send_body = [&](const std::vector<NodeId>& nodes) {
+      const auto body = [&g, &alg, &slab, &stamp, &nodes,
+                         round](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const NodeId v = nodes[i];
+          int p = 0;
+          for (const HalfEdge h : g.incident(v)) {
+            if (auto m = alg.send(v, p, round)) {
+              const std::size_t slot = half_edge_index(h);
+              slab[slot] = std::move(*m);
+              stamp[slot] = round;
+            }
+            ++p;
+          }
+        }
+      };
+      detail::engine_phase(nodes, body);
+    };
+    send_body(frontier);
+    send_body(drain);
+    drain.clear();
+
+    // Step phase: active nodes read their neighbors' out-slots through the
+    // inbox view and advance their own state.
+    {
+      const auto body = [&g, &alg, &slab, &stamp, &frontier,
+                         round](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const NodeId v = frontier[i];
+          const MessageInbox<Message> inbox(g.incident(v), slab.data(),
+                                            stamp.data(), round);
+          alg.step(v, inbox, round);
+        }
+      };
+      detail::engine_phase(frontier, body);
+    }
+
+    // Rebuild the frontier in node order (deterministic for any thread
+    // count); nodes that halted this round drain once more next round.
+    next.clear();
+    for (const NodeId v : frontier)
+      (alg.done(v) ? drain : next).push_back(v);
+    std::swap(frontier, next);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return static_cast<int>(round64);
+}
+
+}  // namespace padlock

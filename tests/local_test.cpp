@@ -112,7 +112,8 @@ struct MaxFlood {
     for (NodeId v = 0; v < g.num_nodes(); ++v) best[v] = ids[v];
   }
   std::optional<Message> send(NodeId v, int, int) { return best[v]; }
-  void step(NodeId v, const MessageInbox<Message>& inbox, int r) {
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int r) {
     for (const auto& m : inbox)
       if (m && *m > best[v]) best[v] = *m;
     if (v == 0) seen_rounds = r;
@@ -129,36 +130,41 @@ TEST(MessageEngine, FloodReachesDiameter) {
   for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(alg.best[v], 6u);
 }
 
+struct Echo {
+  using Message = int;
+  int got = 0;
+  int rounds_done = 0;
+  std::optional<Message> send(NodeId, int port, int) { return port + 10; }
+  template <class Inbox>
+  void step(NodeId, const Inbox& inbox, int r) {
+    // Port 0 receives what was sent on port 1 and vice versa.
+    got = *inbox[0] * 100 + *inbox[1];
+    rounds_done = r;
+  }
+  bool done(NodeId) const { return rounds_done >= 1; }
+};
+
 TEST(MessageEngine, SelfLoopDeliversToSelf) {
   GraphBuilder b;
   b.add_node();
   b.add_edge(0, 0);
   Graph g = std::move(b).build();
-
-  struct Echo {
-    using Message = int;
-    int got = 0;
-    int rounds_done = 0;
-    std::optional<Message> send(NodeId, int port, int) { return port + 10; }
-    void step(NodeId, const MessageInbox<Message>& inbox, int r) {
-      // Port 0 receives what was sent on port 1 and vice versa.
-      got = *inbox[0] * 100 + *inbox[1];
-      rounds_done = r;
-    }
-    bool done(NodeId) const { return rounds_done >= 1; }
-  } alg;
+  Echo alg;
   run_message_rounds(g, alg, 10);
   EXPECT_EQ(alg.got, 11 * 100 + 10);
 }
 
+struct Never {
+  using Message = int;
+  std::optional<Message> send(NodeId, int, int) { return 0; }
+  template <class Inbox>
+  void step(NodeId, const Inbox&, int) {}
+  bool done(NodeId) const { return false; }
+};
+
 TEST(MessageEngine, RespectsMaxRounds) {
   Graph g = build::cycle(4);
-  struct Never {
-    using Message = int;
-    std::optional<Message> send(NodeId, int, int) { return 0; }
-    void step(NodeId, const MessageInbox<Message>&, int) {}
-    bool done(NodeId) const { return false; }
-  } alg;
+  Never alg;
   EXPECT_THROW(run_message_rounds(g, alg, 3), ContractViolation);
 }
 

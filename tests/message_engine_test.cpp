@@ -10,6 +10,8 @@
 //    express). Regenerate deliberately with PADLOCK_REGEN_GOLDEN=1.
 //  * engine v2 ≡ engine v1 on the same state machines (luby, matching):
 //    identical outputs and round counts for the kept v1 oracle;
+//  * engine v3 ≡ engine v2 over the full registry landscape (every pair ×
+//    synthetic families × a real file-backed graph, serial and pooled);
 //  * serial ≡ parallel bit-identity of engine-driven pairs at a size where
 //    the pooled phases actually split into chunks;
 //  * drain semantics: a halting node's final sends are delivered exactly
@@ -21,6 +23,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <new>
 #include <sstream>
 #include <string>
@@ -28,6 +31,7 @@
 
 #include "algo/luby_mis.hpp"
 #include "algo/matching.hpp"
+#include "core/graph_cache.hpp"
 #include "core/registry.hpp"
 #include "core/runner.hpp"
 #include "graph/builders.hpp"
@@ -228,6 +232,56 @@ TEST_F(EngineTest, MatchingV2BitIdenticalToV1EngineAndMaximal) {
   }
 }
 
+// ---- engine v3 ≡ engine v2 across the whole landscape ----------------------
+// The layout rewrite (CSR-slot slab, double-buffered presence bitsets,
+// word-at-a-time frontiers) must be observationally invisible: for every
+// registered pair, on every family including a real file-backed graph,
+// serial and pooled, v3 reproduces v2's outputs, round reports, and stats
+// bit for bit. v2 stays in-tree exactly to anchor this oracle.
+
+TEST_F(EngineTest, V3BitIdenticalToV2AcrossRegistryAndFamilies) {
+  struct Instance {
+    std::string label;
+    std::shared_ptr<const Graph> graph;
+  };
+  std::vector<Instance> instances;
+  for (const std::string fam : {"cycle", "regular", "path", "torus"}) {
+    instances.push_back(
+        {fam, std::make_shared<const Graph>(build::family(fam, 192, 3, 13))});
+  }
+  const std::string sample =
+      std::string(PADLOCK_TEST_DATA_DIR) + "/p2p-sample.txt";
+  instances.push_back({"file:p2p-sample",
+                       GraphCache::instance().get_or_build(
+                           "file:" + sample, 0, 0, 0)});
+
+  for (const auto* algo : AlgorithmRegistry::instance().algos()) {
+    for (const Instance& inst : instances) {
+      if (algo->precondition && !algo->precondition(*inst.graph)) continue;
+      for (const int threads : {1, 4}) {
+        SCOPED_TRACE(algo->problem + "/" + algo->name + " @" + inst.label +
+                     " threads=" + std::to_string(threads));
+        exec_context().threads = threads;
+        RunOptions opts;
+        opts.seed = 29;
+        SolveOutcome v2, v3;
+        {
+          ScopedEngineVersion scope(MessageEngineVersion::kV2);
+          v2 = run(algo->problem, algo->name, *inst.graph, opts);
+        }
+        {
+          ScopedEngineVersion scope(MessageEngineVersion::kV3);
+          v3 = run(algo->problem, algo->name, *inst.graph, opts);
+        }
+        ASSERT_TRUE(v2.ok());
+        ASSERT_TRUE(v3.ok());
+        EXPECT_TRUE(v3.output == v2.output);
+        EXPECT_TRUE(v3.rounds == v2.rounds);
+      }
+    }
+  }
+}
+
 // ---- serial ≡ parallel on engine-driven pairs ------------------------------
 // determinism_test covers every registered pair at n=96; this instance is
 // large enough that the engine's pooled phases really split into chunks
@@ -272,7 +326,8 @@ struct DrainProbe {
     if (v == 0) return 100 + round;  // sends while active + one drain round
     return std::nullopt;             // the listener never speaks
   }
-  void step(NodeId v, const MessageInbox<Message>& inbox, int round) {
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int round) {
     if (v == 0) {
       node0_done = true;  // halts at the end of round 1
       return;
@@ -308,7 +363,8 @@ struct Countdown {
   std::vector<std::int32_t> left;
   Countdown(std::size_t n, int k) : acc(n, 1), left(n, k) {}
   std::optional<Message> send(NodeId v, int, int) { return acc[v]; }
-  void step(NodeId v, const MessageInbox<Message>& inbox, int) {
+  template <class Inbox>
+  void step(NodeId v, const Inbox& inbox, int) {
     std::uint64_t s = acc[v];
     for (const auto& m : inbox)
       if (m) s += *m;
@@ -330,12 +386,17 @@ TEST_F(EngineTest, ZeroAllocationsPerRoundInSteadyState) {
     return g_heap_allocs.load() - before;
   };
 
-  const std::size_t short_run = allocs_for_rounds(8);
-  const std::size_t long_run = allocs_for_rounds(96);
-  // 12x the rounds, identical allocation count: everything the engine
-  // touches per round is run-scoped and reused.
-  EXPECT_EQ(short_run, long_run);
-  EXPECT_LE(long_run, 16u);
+  // Both engine generations honor the contract: all per-round storage is
+  // run-scoped and reused, so 12x the rounds costs zero extra allocations.
+  for (const MessageEngineVersion version :
+       {MessageEngineVersion::kV3, MessageEngineVersion::kV2}) {
+    ScopedEngineVersion scope(version);
+    const std::size_t short_run = allocs_for_rounds(8);
+    const std::size_t long_run = allocs_for_rounds(96);
+    SCOPED_TRACE(version == MessageEngineVersion::kV3 ? "v3" : "v2");
+    EXPECT_EQ(short_run, long_run);
+    EXPECT_LE(long_run, 16u);
+  }
 }
 
 }  // namespace
