@@ -6,11 +6,16 @@
 // serialization).
 //
 // Usage: bench_micro [--threads N] [--repeat R] [--sizes a,b,...]
-//                    [--engine-max-exp E] [--json PATH] [--no-json]
+//                    [--engine-max-exp E] [--shards K] [--json PATH]
+//                    [--no-json]
 //
 // --engine-max-exp caps the message-engine size ramp at n = 2^E (default
 // 22; CI passes 16 so the gate stays fast while local runs measure the
-// full memory-bound regime).
+// full memory-bound regime). --shards sets the partition count of the
+// engine/v3-sharded/* rows (default 4) — those rows run the same ramp
+// through the partitioned substrate and surface its halo traffic
+// (cross_shard_msgs, halo_bytes) next to the single-slab v3 rows, so the
+// barrier overhead is measured against the inline path at every size.
 //
 // Wall-clock results are written machine-readably to BENCH_micro.json
 // (pair, n, rounds, wall_ns, threads) so the perf trajectory accumulates
@@ -43,6 +48,7 @@
 #include "lcl/problems/sinkless_orientation.hpp"
 #include "store/pg.hpp"
 #include "local/engine.hpp"
+#include "local/engine_substrate.hpp"
 #include "local/message_engine.hpp"
 #include "local/message_engine_v1.hpp"
 #include "support/table.hpp"
@@ -85,7 +91,8 @@ struct GeometricHalt {
 // hoisted into shared_ptr captures at task-creation time so each timed
 // body exercises only the path its label names; bodies are self-contained
 // so the pool may run them concurrently.
-std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp) {
+std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp,
+                                              int sharded_shards) {
   std::vector<ScenarioTask> tasks;
   // The strict/audit gather hot path through the flat-ball engine: the same
   // radius-2 rule in both accounting modes. The strict rows are what the
@@ -127,23 +134,31 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp) {
   // by each algorithm's own per-node compute. Every engine row carries
   // the edge count (feeding the derived edges_per_sec column) and the
   // engine's resident footprint in its stats object.
+  // Each body pins both engine knobs thread-locally: the version under
+  // test and an explicit shard count (1 for the single-slab rows, the
+  // --shards value for v3-sharded), so rows measure their labeled
+  // configuration regardless of the ambient context the pool worker runs
+  // in. Engine stats land in the row via MessageEngineStats::surface, so
+  // sharded rows carry cross_shard_msgs / halo_bytes in the JSON.
   const auto engine_rows = [&tasks](const std::shared_ptr<const Graph>& g,
                                     const std::shared_ptr<IdMap>& ids,
                                     const std::string& suffix,
-                                    MessageEngineVersion version) {
-    const std::string tag =
-        version == MessageEngineVersion::kV2 ? "v2" : "v3";
+                                    MessageEngineVersion version,
+                                    int shards) {
+    const std::string tag = version == MessageEngineVersion::kV2
+                                ? "v2"
+                                : (shards > 1 ? "v3-sharded" : "v3");
     const auto fill = [g](SweepRow& row, const MessageEngineStats& es,
                           int rounds) {
       row.nodes = g->num_nodes();
       row.edges = g->num_edges();
       row.rounds = rounds;
-      row.stats.set("engine_bytes_slab", es.bytes_slab);
-      row.stats.set("engine_bytes_state", es.bytes_state);
+      es.surface(row.stats);
     };
     tasks.push_back({"engine/" + tag + "/geometric-halt" + suffix,
-                     [g, version, fill](SweepRow& row) {
+                     [g, version, shards, fill](SweepRow& row) {
                        ScopedEngineVersion scope(version);
+                       ScopedEngineShards shard_scope(shards);
                        GeometricHalt alg(g->num_nodes());
                        MessageEngineStats es;
                        const int rounds = run_message_rounds(
@@ -151,15 +166,17 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp) {
                        fill(row, es, rounds);
                      }});
     tasks.push_back({"engine/" + tag + "/luby" + suffix,
-                     [g, ids, version, fill](SweepRow& row) {
+                     [g, ids, version, shards, fill](SweepRow& row) {
                        ScopedEngineVersion scope(version);
+                       ScopedEngineShards shard_scope(shards);
                        MessageEngineStats es;
                        const auto res = luby_mis(*g, *ids, 7, &es);
                        fill(row, es, res.rounds);
                      }});
     tasks.push_back({"engine/" + tag + "/matching" + suffix,
-                     [g, ids, version, fill](SweepRow& row) {
+                     [g, ids, version, shards, fill](SweepRow& row) {
                        ScopedEngineVersion scope(version);
+                       ScopedEngineShards shard_scope(shards);
                        MessageEngineStats es;
                        const auto res = randomized_matching(*g, *ids, 7, &es);
                        fill(row, es, res.rounds);
@@ -172,9 +189,10 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp) {
       const auto ids = std::make_shared<IdMap>(shuffled_ids(*g, 5));
       const std::string suffix =
           "/" + std::string(family) + "/n=" + std::to_string(n);
-      engine_rows(g, ids, suffix, MessageEngineVersion::kV3);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, 1);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, sharded_shards);
       if (exp == 14 || exp == 18 || exp == 22)
-        engine_rows(g, ids, suffix, MessageEngineVersion::kV2);
+        engine_rows(g, ids, suffix, MessageEngineVersion::kV2, 1);
       if (exp == 14) {
         tasks.push_back({"engine/v1/geometric-halt" + suffix,
                          [g](SweepRow& row) {
@@ -213,8 +231,9 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp) {
       const auto ids = std::make_shared<IdMap>(shuffled_ids(*g, 5));
       const std::string suffix =
           "/p2p-sample/n=" + std::to_string(g->num_nodes());
-      engine_rows(g, ids, suffix, MessageEngineVersion::kV3);
-      engine_rows(g, ids, suffix, MessageEngineVersion::kV2);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, 1);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, sharded_shards);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV2, 1);
     }
   }
   for (const std::size_t n : {std::size_t{1} << 10, std::size_t{1} << 14}) {
@@ -368,10 +387,28 @@ void print_rows(const char* title, const SweepOutcome& outcome) {
 
 }  // namespace
 
+// Strict integer option parsing: the whole token must be a base-10
+// integer (atoi-style trailing garbage like "14abc" is a usage error, not
+// a silent 14). Returns false with a usage-style message on stderr.
+bool parse_int_opt(const char* flag, const char* token, long lo, long hi,
+                   int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(token, &end, 10);
+  if (end == token || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "bench_micro: %s expects an integer in %ld..%ld, "
+                 "got '%s'\n",
+                 flag, lo, hi, token);
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
 int main(int argc, char** argv) {
   int threads = 0;  // 0 = hardware concurrency
   int repeat = 3;
   int engine_max_exp = 22;
+  int sharded_shards = 4;
   std::vector<std::size_t> sizes{std::size_t{1} << 10};
   std::string json_path = "BENCH_micro.json";
   for (int i = 1; i < argc; ++i) {
@@ -382,13 +419,12 @@ int main(int argc, char** argv) {
     if (arg == "--threads") threads = std::atoi(next());
     else if (arg == "--repeat") repeat = std::atoi(next());
     else if (arg == "--engine-max-exp") {
-      engine_max_exp = std::atoi(next());
-      if (engine_max_exp < 12 || engine_max_exp > 26) {
-        std::fprintf(stderr,
-                     "bench_micro: --engine-max-exp expects 12..26, got %d\n",
-                     engine_max_exp);
+      if (!parse_int_opt("--engine-max-exp", next(), 12, 26, &engine_max_exp))
         return 2;
-      }
+    }
+    else if (arg == "--shards") {
+      if (!parse_int_opt("--shards", next(), 1, 65535, &sharded_shards))
+        return 2;
     }
     else if (arg == "--json") json_path = next();
     else if (arg == "--no-json") json_path.clear();
@@ -410,8 +446,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_micro [--threads N] [--repeat R] "
-                   "[--sizes a,b,...] [--engine-max-exp E] [--json PATH] "
-                   "[--no-json]\n");
+                   "[--sizes a,b,...] [--engine-max-exp E] [--shards K] "
+                   "[--json PATH] [--no-json]\n");
       return 2;
     }
   }
@@ -442,8 +478,8 @@ int main(int argc, char** argv) {
   small.repeat = repeat;
   const SweepOutcome baseline = run_batch(small);
 
-  const SweepOutcome substrate =
-      run_scenarios(substrate_scenarios(engine_max_exp), repeat);
+  const SweepOutcome substrate = run_scenarios(
+      substrate_scenarios(engine_max_exp, sharded_shards), repeat);
 
   print_rows("registry pairs (solve + verify, run_batch)", runners);
   print_rows("linear baselines", baseline);

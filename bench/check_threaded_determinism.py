@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
-"""Threaded-determinism gate: assert that a threaded bench_micro run
-produced the same sweep rows as the serial run.
+"""Execution-determinism gate: assert that variant bench_micro runs
+produced the same sweep rows as the baseline (serial) run.
 
 Wall-clock fields differ by design; what must be identical row by row is
 the workload identity (problem, algo, family, nodes, edges) and the
-deterministic outcome fields (status, rounds). A mismatch means the pooled
-execution path (engine v2 phases, run_gather, check_ne_lcl, run_batch)
-diverged from the serial one — exactly the bit-identity contract the
-thread pool promises.
+deterministic outcome fields (status, rounds). A mismatch means a pooled
+or sharded execution path (engine v3 phases, the partitioned substrate,
+run_gather, check_ne_lcl, run_batch) diverged from the serial one —
+exactly the bit-identity contract both the thread pool and the sharded
+substrate promise.
 
-Usage: check_threaded_determinism.py SERIAL.json THREADED.json
-Exit codes: 0 identical, 1 divergence, 2 usage/parse error.
+Any number of variants can be gated against one baseline: the CI job
+passes the threaded run AND the sharded run (padlock_cli sweep --shards),
+each compared independently.
+
+Usage: check_threaded_determinism.py BASELINE.json VARIANT.json [...]
+Exit codes: 0 all identical, 1 divergence, 2 usage/parse error.
 """
 
 import json
@@ -28,41 +33,52 @@ def load_rows(path):
     return doc["rows"]
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    try:
-        serial = load_rows(sys.argv[1])
-        threaded = load_rows(sys.argv[2])
-    except (OSError, ValueError, json.JSONDecodeError) as err:
-        print(f"determinism-gate: {err}", file=sys.stderr)
-        return 2
-
-    if len(serial) != len(threaded):
-        print(f"determinism-gate: row count differs: {len(serial)} serial "
-              f"vs {len(threaded)} threaded", file=sys.stderr)
-        return 1
+def diff_rows(baseline, variant, label):
+    """Returns the number of divergent rows between the two row lists."""
+    if len(baseline) != len(variant):
+        print(f"determinism-gate: {label}: row count differs: "
+              f"{len(baseline)} baseline vs {len(variant)} variant",
+              file=sys.stderr)
+        return max(len(baseline), len(variant))
 
     divergent = 0
-    for i, (a, b) in enumerate(zip(serial, threaded)):
+    for i, (a, b) in enumerate(zip(baseline, variant)):
         for key in IDENTITY + OUTCOME:
             if a.get(key) != b.get(key):
                 name = a.get("problem", "?")
                 if a.get("algo"):
                     name += "/" + a["algo"]
-                print(f"determinism-gate: row {i} ({name} "
+                print(f"determinism-gate: {label}: row {i} ({name} "
                       f"@{a.get('family', '')} n={a.get('nodes', 0)}): "
-                      f"{key} {a.get(key)!r} serial vs {b.get(key)!r} "
-                      f"threaded")
+                      f"{key} {a.get(key)!r} baseline vs {b.get(key)!r} "
+                      f"variant")
                 divergent += 1
                 break
+    return divergent
 
-    print(f"determinism-gate: {len(serial)} rows compared, "
-          f"{divergent} divergent")
-    if divergent:
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        baseline = load_rows(sys.argv[1])
+        variants = [(path, load_rows(path)) for path in sys.argv[2:]]
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"determinism-gate: {err}", file=sys.stderr)
+        return 2
+
+    total = 0
+    for path, rows in variants:
+        divergent = diff_rows(baseline, rows, path)
+        print(f"determinism-gate: {path}: {len(baseline)} rows compared, "
+              f"{divergent} divergent")
+        total += divergent
+
+    if total:
         return 1
-    print("determinism-gate: threaded rows identical to serial")
+    print(f"determinism-gate: {len(variants)} variant(s) identical to "
+          f"baseline")
     return 0
 
 

@@ -5,13 +5,18 @@
 //   padlock_cli list     [--problem <name>]
 //   padlock_cli run <problem> <algo> --graph <family> [--nodes N]
 //                  [--degree D] [--seed S] [--ids <strategy>] [--no-check]
-//                  [--threads T] [--repeat R]
+//                  [--threads T] [--repeat R] [--shards K] [--engine v3|v2]
 //       families:   build::family_names() — path cycle tree torus regular
 //                   multigraph high-girth bounded (+ cubic, cubic-simple)
 //       strategies: sequential shuffled sparse adversarial
+//       --shards K runs the round engine over K partitioned shards with
+//       halo exchange at round barriers (bit-identical to K=1; see
+//       docs/API.md "Execution substrate"); --engine selects the round
+//       executor (v3 default, v2 = the kept oracle)
 //   padlock_cli sweep    [--pairs p/a,p/a|all] [--family f1,f2] [--sizes
 //                  a,b,c] [--degree D] [--seed S] [--repeat R] [--threads T]
-//                  [--no-check] [--no-cache] [--json]
+//                  [--shards K] [--engine v3|v2] [--no-check] [--no-cache]
+//                  [--json]
 //       the batched execution plan: pairs × families × sizes through the
 //       thread pool (core/runner.hpp run_batch). The graph menu resolves
 //       through the sweep-wide GraphCache unless --no-cache builds every
@@ -53,6 +58,7 @@
 #include "graph/metrics.hpp"
 #include "io/dot.hpp"
 #include "io/serialize.hpp"
+#include "local/message_engine.hpp"
 #include "store/edgelist.hpp"
 #include "store/pg.hpp"
 #include "support/table.hpp"
@@ -134,12 +140,38 @@ int cmd_list(const Args& a) {
   return 0;
 }
 
+// Shared validation of the engine knobs (`run` applies them to the process
+// context; `sweep` passes them through the plan, which re-validates).
+bool parse_engine_knobs(const Args& a, const char* cmd, std::string* engine,
+                        int* shards) {
+  *engine = a.str("engine", "");
+  if (!engine->empty() && *engine != "v3" && *engine != "v2") {
+    std::fprintf(stderr, "padlock_cli %s: --engine expects v3|v2, got '%s'\n",
+                 cmd, engine->c_str());
+    return false;
+  }
+  *shards = static_cast<int>(a.num("shards", 0));
+  if (a.flag("shards") && *shards < 1) {
+    std::fprintf(stderr,
+                 "padlock_cli %s: --shards expects a positive shard count, "
+                 "got '%s'\n",
+                 cmd, a.str("shards", "").c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_run(const std::string& problem, const std::string& algo,
             const Args& a) {
   const auto n = static_cast<std::size_t>(a.num("nodes", 64));
   const int degree = static_cast<int>(a.num("degree", 3));
   const int repeat = static_cast<int>(a.num("repeat", 1));
   exec_context().threads = static_cast<int>(a.num("threads", 1));
+  std::string engine;
+  int shards = 0;
+  if (!parse_engine_knobs(a, "run", &engine, &shards)) return 2;
+  if (shards >= 1) exec_context().shards = shards;
+  if (engine == "v2") message_engine_version() = MessageEngineVersion::kV2;
   RunOptions opts;
   opts.seed = static_cast<std::uint64_t>(a.num("seed", 1));
   opts.ids = id_strategy_from_name(a.str("ids", "shuffled"));
@@ -167,6 +199,8 @@ int cmd_run(const std::string& problem, const std::string& algo,
               problem.c_str(), algo.c_str(),
               a.str("graph", "cubic-simple").c_str(), g.num_nodes(),
               g.num_edges(), g.max_degree());
+  std::printf("engine: %s, shards: %d\n", engine.empty() ? "v3" : engine.c_str(),
+              engine_effective_shards());
   std::printf("rounds: %d\n", outcome.rounds.rounds);
   if (repeat > 1) {
     std::printf("wall:   min %.1f us, median %.1f us over %d runs "
@@ -229,6 +263,7 @@ int cmd_sweep(const Args& a) {
   plan.repeat = static_cast<int>(a.num("repeat", 1));
   plan.threads = static_cast<int>(a.num("threads", 0));
   plan.use_cache = !a.flag("no-cache");
+  if (!parse_engine_knobs(a, "sweep", &plan.engine, &plan.shards)) return 2;
 
   const SweepOutcome outcome = run_batch(plan);
   if (a.flag("json")) {
@@ -249,8 +284,9 @@ int cmd_sweep(const Args& a) {
                ran ? fmt(row.wall_ns_median / 1e3, 1) : "-"});
   }
   t.print();
-  std::printf("%zu rows in %.1f ms (threads=%d, %s)%s\n", outcome.rows.size(),
-              outcome.wall_ns / 1e6, outcome.threads,
+  std::printf("%zu rows in %.1f ms (threads=%d, engine=%s, shards=%d, %s)%s\n",
+              outcome.rows.size(), outcome.wall_ns / 1e6, outcome.threads,
+              outcome.engine.c_str(), outcome.shards,
               cache_note(outcome).c_str(),
               outcome.all_ok() ? "" : " — FAILURES");
   return outcome.all_ok() ? 0 : 1;

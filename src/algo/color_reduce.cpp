@@ -245,8 +245,7 @@ void register_color_reduce_algos(AlgorithmRegistry& r) {
                 .rounds = RoundReport::uniform(ctx.graph, res.rounds),
                 .stats = {}};
             out.stats.set("initial_colors", num_colors);
-            out.stats.set("engine_bytes_slab", es.bytes_slab);
-            out.stats.set("engine_bytes_state", es.bytes_state);
+            es.surface(out.stats);
             return out;
           },
   });

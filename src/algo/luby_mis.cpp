@@ -150,8 +150,7 @@ void register_luby_mis_algos(AlgorithmRegistry& r) {
                 .output = mis_to_labeling(ctx.graph, res.in_set),
                 .rounds = RoundReport::uniform(ctx.graph, res.rounds),
                 .stats = {}};
-            out.stats.set("engine_bytes_slab", es.bytes_slab);
-            out.stats.set("engine_bytes_state", es.bytes_state);
+            es.surface(out.stats);
             return out;
           },
   });

@@ -466,8 +466,7 @@ void register_matching_algos(AlgorithmRegistry& r) {
                 .output = matching_to_labeling(ctx.graph, res.in_match),
                 .rounds = RoundReport::uniform(ctx.graph, res.rounds),
                 .stats = {}};
-            out.stats.set("engine_bytes_slab", es.bytes_slab);
-            out.stats.set("engine_bytes_state", es.bytes_state);
+            es.surface(out.stats);
             return out;
           },
   });
@@ -491,8 +490,7 @@ void register_matching_algos(AlgorithmRegistry& r) {
                 .stats = {}};
             out.stats.set("coloring_rounds", col.total_rounds());
             out.stats.set("greedy_rounds", res.rounds);
-            out.stats.set("engine_bytes_slab", es.bytes_slab);
-            out.stats.set("engine_bytes_state", es.bytes_state);
+            es.surface(out.stats);
             return out;
           },
   });

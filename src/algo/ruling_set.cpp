@@ -165,8 +165,7 @@ void register_ruling_set_algos(AlgorithmRegistry& r) {
                                RoundReport::uniform(ctx.graph, res.rounds),
                            .stats = {}};
             out.stats.set("domination_radius", res.domination_radius);
-            out.stats.set("engine_bytes_slab", es.bytes_slab);
-            out.stats.set("engine_bytes_state", es.bytes_state);
+            es.surface(out.stats);
             return out;
           },
   });

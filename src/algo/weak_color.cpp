@@ -137,8 +137,7 @@ void register_weak_color_algos(AlgorithmRegistry& r) {
                 .stats = {}};
             out.stats.set("sinks", res.sinks);
             out.stats.set("repaired", res.repaired);
-            out.stats.set("engine_bytes_slab", es.bytes_slab);
-            out.stats.set("engine_bytes_state", es.bytes_state);
+            es.surface(out.stats);
             return out;
           },
   });

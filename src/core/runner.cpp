@@ -9,6 +9,7 @@
 
 #include "core/graph_cache.hpp"
 #include "graph/builders.hpp"
+#include "local/message_engine.hpp"
 #include "support/check.hpp"
 
 namespace padlock {
@@ -155,6 +156,20 @@ class ThreadsGuard {
   int saved_;
 };
 
+// The engine knobs are thread-local (pool workers must not race on them),
+// so a batch resolves them once on the coordinating thread and re-pins
+// them per row on whichever worker picks the row up.
+MessageEngineVersion resolve_engine(const std::string& name) {
+  if (name.empty()) return message_engine_version();
+  if (name == "v3") return MessageEngineVersion::kV3;
+  if (name == "v2") return MessageEngineVersion::kV2;
+  throw RegistryError("unknown engine '" + name + "'; expected v3|v2");
+}
+
+std::string_view engine_name(MessageEngineVersion v) {
+  return v == MessageEngineVersion::kV2 ? "v2" : "v3";
+}
+
 }  // namespace
 
 WallStats wall_stats(std::vector<std::uint64_t> samples_ns) {
@@ -294,8 +309,13 @@ SweepOutcome run_batch(const ExecutionPlan& plan) {
   }
 
   ThreadsGuard guard(plan.threads);
+  const MessageEngineVersion engine = resolve_engine(plan.engine);
+  const int shards =
+      plan.shards >= 1 ? plan.shards : engine_effective_shards();
   SweepOutcome outcome;
   outcome.threads = resolved_threads();
+  outcome.engine = engine_name(engine);
+  outcome.shards = shards;
   const auto batch_t0 = Clock::now();
 
   // Resolve the instance menu once; every pair shares the same immutable
@@ -370,6 +390,10 @@ SweepOutcome run_batch(const ExecutionPlan& plan) {
   outcome.rows.resize(pairs.size() * graphs.size());
   const auto faults = parallel_for_capture(
       0, outcome.rows.size(), 1, [&](std::size_t b, std::size_t e) {
+        // Per-chunk knob pins: rows execute on whichever worker drew the
+        // chunk, and thread_local defaults there would ignore the plan.
+        const ScopedEngineVersion engine_pin(engine);
+        const ScopedEngineShards shards_pin(shards);
         for (std::size_t i = b; i < e; ++i) {
           const ResolvedPair& pair = pairs[i / graphs.size()];
           const std::size_t gi = i % graphs.size();
@@ -456,6 +480,8 @@ SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
   ThreadsGuard guard(threads);
   SweepOutcome outcome;
   outcome.threads = resolved_threads();
+  outcome.engine = engine_name(message_engine_version());
+  outcome.shards = engine_effective_shards();
   const auto batch_t0 = Clock::now();
 
   outcome.rows.resize(scenarios.size());
@@ -544,6 +570,8 @@ std::uint64_t edges_per_sec(const SweepRow& row) {
 std::string to_json(const SweepOutcome& outcome) {
   std::ostringstream out;
   out << "{\"threads\": " << outcome.threads
+      << ", \"engine\": \"" << json_escape(outcome.engine)
+      << "\", \"shards\": " << outcome.shards
       << ", \"wall_ns\": " << outcome.wall_ns
       << ", \"cache\": " << (outcome.cached ? "true" : "false")
       << ", \"cache_hits\": " << outcome.cache_hits

@@ -102,6 +102,18 @@ struct ExecutionPlan {
   /// Worker threads for this batch: 0 = keep exec_context() as is,
   /// otherwise exec_context().threads is set (and restored) around the run.
   int threads = 0;
+  /// Engine shard count for every row of this batch (the partitioned
+  /// substrate, local/engine_substrate.hpp): 0 resolves the dispatching
+  /// thread's effective count (exec_context().shards or a scoped pin),
+  /// >= 1 forces it. Rows run on pool workers, so the resolved count is
+  /// re-pinned thread-locally per row — a batch is never split across
+  /// shard configurations. Rows are bit-identical for every value.
+  int shards = 0;
+  /// Round-engine version for every row: "" keeps the dispatching thread's
+  /// engine (normally v3), "v3"/"v2" force one. Propagated to the workers
+  /// per row like `shards`. Any other value is a malformed plan
+  /// (run_batch throws RegistryError).
+  std::string engine;
   /// Resolve the graph menu through the process-wide GraphCache
   /// (core/graph_cache.hpp): identical specs — within this plan or across
   /// earlier batches — share one immutable instance. false (`padlock_cli
@@ -166,6 +178,11 @@ struct WallStats {
 struct SweepOutcome {
   std::vector<SweepRow> rows;
   int threads = 1;              // resolved worker count the batch ran with
+  /// Execution provenance of the batch: the engine version and shard count
+  /// its rows ran with (run_scenarios records the ambient configuration;
+  /// bodies that pin their own knobs say so in their row labels).
+  std::string engine = "v3";
+  int shards = 1;
   std::uint64_t wall_ns = 0;    // whole-batch wall clock
   /// Graph-cache accounting of this batch's menu resolution: a hit is a
   /// menu entry served without building (already cached, or a duplicate
@@ -228,8 +245,9 @@ SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
 /// sweep format written by `padlock_cli sweep --json` and bench_micro's
 /// BENCH_micro.json:
 ///
-///   {"threads": T, "wall_ns": W, "cache": true|false,
-///    "cache_hits": H, "cache_misses": M, "rows": [...]}
+///   {"threads": T, "engine": "v3", "shards": S, "wall_ns": W,
+///    "cache": true|false, "cache_hits": H, "cache_misses": M,
+///    "rows": [...]}
 ///
 /// Every row is emitted (skipped rows included, with "skipped": true), one
 /// object per row: problem, algo, family, nodes, edges, rounds, status, ok,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "graph/partition.hpp"
+
 namespace padlock {
 
 GraphBuilder::GraphBuilder(std::size_t reserve_nodes) {
@@ -88,6 +90,10 @@ void Graph::finalize_peer_ports() {
     peer_port_[i] = static_cast<std::uint32_t>(
         first_port_[w] + static_cast<std::size_t>(port_of(o)));
   }
+  // Assembly is the one single-threaded moment of a graph's life, so the
+  // partition memo is created here (lazily creating it from the const
+  // partition() accessor would race concurrent sweep rows).
+  partitions_ = std::make_shared<PartitionStore>();
 }
 
 }  // namespace padlock

@@ -1,0 +1,263 @@
+// Execution substrates of the partitioned round engine — the pluggable
+// halo-exchange backends behind run_message_rounds (message_engine.hpp).
+//
+// When exec_context().shards (or the thread-local override below) asks for
+// more than one shard, the engine splits the run across a Partition
+// (graph/partition.hpp): every shard owns a private message slab + presence
+// bitset sized to its *extended* slot space [local out-slots | halo
+// mirror], send/step run per shard exactly as in v3, and the only
+// inter-shard traffic is the bulk-synchronous halo exchange at the round
+// barrier: each shard flushes its present cross-shard out-slots as (mirror
+// index, packed payload) records, the barrier lands, and each destination
+// shard applies the records addressed to it into its mirror region. How
+// those records travel is the Substrate seam:
+//
+//  * Inline — no substrate at all: shards == 1 dispatches to the untouched
+//    single-slab v3 executor (SubstrateKind::kInline forces this even when
+//    more shards are configured). Bit-identical to PR 7 by construction:
+//    it *is* that code path.
+//  * ShardedSubstrate — the in-process backend: per-(source, destination)
+//    record vectors, written lock-free by the flushing shard and drained
+//    by the destination in source order. This is the NUMA-shaped layout:
+//    every slab, presence word and outbox has exactly one writing shard
+//    per phase.
+//  * LoopbackSubstrate — the message-passing skeleton: records are
+//    *serialized to byte packets* (u32 mirror index + the packed wire
+//    form, the same MessageTraits layout the slab stores) into explicit
+//    per-shard inboxes — one buffer per peer, as an MPI-style substrate
+//    would post — and parsed back at delivery. Single-process, but every
+//    cross-shard byte travels the wire format end to end, proving the
+//    partitioned protocol for a future distributed backend.
+//
+// Determinism (the headline invariant, pinned by tests/substrate_test.cpp
+// for the whole registry): a message crosses the cut with the exact packed
+// value the serial engine would have read in place, delivery lands before
+// any step() of the round, and mirror application is single-writer per
+// destination in (source, ascending slot) order — so sharded, loopback and
+// serial runs produce bit-identical labelings and round counts at every
+// shard and thread count.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace padlock {
+
+/// Which backend carries the halo exchange when shards > 1. kInline
+/// ignores the shard count and runs the single-slab v3 path.
+enum class SubstrateKind { kInline, kSharded, kLoopback };
+
+/// Thread-local for the same reason as message_engine_version(): bench and
+/// test bodies run concurrently on the pool, and one body pinning loopback
+/// must not reroute a sibling row. Dispatch reads it once per run.
+inline SubstrateKind& engine_substrate() {
+  thread_local SubstrateKind k = SubstrateKind::kSharded;
+  return k;
+}
+
+/// RAII substrate switch (tests; mirrors ScopedEngineVersion).
+class ScopedSubstrate {
+ public:
+  explicit ScopedSubstrate(SubstrateKind k) : saved_(engine_substrate()) {
+    engine_substrate() = k;
+  }
+  ~ScopedSubstrate() { engine_substrate() = saved_; }
+  ScopedSubstrate(const ScopedSubstrate&) = delete;
+  ScopedSubstrate& operator=(const ScopedSubstrate&) = delete;
+
+ private:
+  SubstrateKind saved_;
+};
+
+/// Thread-local shard-count override: -1 (default) follows the process-wide
+/// exec_context().shards; >= 0 pins this thread's runs. Scenario bodies on
+/// pool workers use the scoped form — mutating the global from a worker
+/// would race sibling rows.
+inline int& message_engine_shards() {
+  thread_local int s = -1;
+  return s;
+}
+
+/// RAII shard-count pin for bench/test bodies.
+class ScopedEngineShards {
+ public:
+  explicit ScopedEngineShards(int shards) : saved_(message_engine_shards()) {
+    message_engine_shards() = shards;
+  }
+  ~ScopedEngineShards() { message_engine_shards() = saved_; }
+  ScopedEngineShards(const ScopedEngineShards&) = delete;
+  ScopedEngineShards& operator=(const ScopedEngineShards&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// The shard count a run dispatched from this thread uses: the thread-local
+/// override when pinned, else exec_context().shards, floored at 1.
+[[nodiscard]] inline int engine_effective_shards() {
+  const int pinned = message_engine_shards();
+  const int s = pinned >= 0 ? pinned : exec_context().shards;
+  return s < 1 ? 1 : s;
+}
+
+/// Test-only fault injection: when set to k >= 0, the k-th cross-shard
+/// record flushed by a run dispatched from this thread is silently dropped
+/// (then the knob disarms). Honored only on serial (inline-phase) runs —
+/// pooled flush phases run on workers whose knob is unset. The planted-
+/// corruption test uses it to prove a lost halo message is caught by the
+/// problem checker as a row-scoped verification failure, not silently
+/// absorbed.
+inline std::int64_t& engine_test_drop_halo() {
+  thread_local std::int64_t k = -1;
+  return k;
+}
+
+/// In-process halo exchange: per-(source, destination) record vectors.
+/// Lifecycle per round: begin_round() resets (capacity kept), the flush
+/// phase push()es — one source shard per writer, so no locks — then
+/// finish_flush() folds counters on the barrier, and deliver() drains one
+/// destination's records in source order.
+template <typename Packed>
+class ShardedSubstrate {
+ public:
+  explicit ShardedSubstrate(int shards)
+      : shards_(shards),
+        out_(static_cast<std::size_t>(shards) *
+             static_cast<std::size_t>(shards)) {}
+
+  void begin_round() {
+    for (auto& box : out_) box.clear();
+  }
+
+  /// Flush-phase write; only shard `src`'s worker may call with this src.
+  void push(int src, int dest, std::uint32_t remote_index, const Packed& p) {
+    box(src, dest).push_back(Record{remote_index, p});
+  }
+
+  /// Folds the round's traffic into the run counters. Call between the
+  /// flush barrier and delivery (single-threaded moment).
+  void finish_flush() {
+    for (const auto& b : out_) {
+      messages_ += static_cast<std::int64_t>(b.size());
+      bytes_ += static_cast<std::int64_t>(b.size() * kWireRecordBytes);
+    }
+  }
+
+  /// Applies every record addressed to `dest`, in (source, push-order)
+  /// order: fn(remote_index, packed). Only shard `dest`'s worker may call.
+  template <typename Fn>
+  void deliver(int dest, const Fn& fn) const {
+    for (int src = 0; src < shards_; ++src)
+      for (const Record& r : box(src, dest)) fn(r.remote_index, r.payload);
+  }
+
+  /// Cumulative cross-shard records / serialized wire bytes (the byte
+  /// gauge uses the loopback wire layout, so both substrates report the
+  /// same traffic for the same run).
+  [[nodiscard]] std::int64_t messages() const { return messages_; }
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+
+  static constexpr std::size_t kWireRecordBytes =
+      sizeof(std::uint32_t) + sizeof(Packed);
+
+ private:
+  struct Record {
+    std::uint32_t remote_index;
+    Packed payload;
+  };
+
+  [[nodiscard]] std::vector<Record>& box(int src, int dest) {
+    return out_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(shards_) +
+                static_cast<std::size_t>(dest)];
+  }
+  [[nodiscard]] const std::vector<Record>& box(int src, int dest) const {
+    return out_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(shards_) +
+                static_cast<std::size_t>(dest)];
+  }
+
+  int shards_;
+  std::vector<std::vector<Record>> out_;
+  std::int64_t messages_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// Message-passing skeleton: the same exchange, but every record is
+/// serialized into a per-peer byte inbox ({u32 mirror index, Packed wire
+/// bytes}, memcpy'd — the packed form is trivially copyable by the engine's
+/// layout contract) and parsed back at delivery. Functionally identical to
+/// ShardedSubstrate; its job is to prove the wire protocol end to end in
+/// one process.
+template <typename Packed>
+class LoopbackSubstrate {
+ public:
+  explicit LoopbackSubstrate(int shards)
+      : shards_(shards),
+        inbox_(static_cast<std::size_t>(shards) *
+               static_cast<std::size_t>(shards)) {}
+
+  void begin_round() {
+    for (auto& b : inbox_) b.clear();
+  }
+
+  void push(int src, int dest, std::uint32_t remote_index, const Packed& p) {
+    std::vector<unsigned char>& b = buf(src, dest);
+    const std::size_t at = b.size();
+    b.resize(at + kWireRecordBytes);
+    std::memcpy(b.data() + at, &remote_index, sizeof(remote_index));
+    std::memcpy(b.data() + at + sizeof(remote_index), &p, sizeof(Packed));
+  }
+
+  void finish_flush() {
+    for (const auto& b : inbox_) {
+      bytes_ += static_cast<std::int64_t>(b.size());
+      messages_ += static_cast<std::int64_t>(b.size() / kWireRecordBytes);
+    }
+  }
+
+  template <typename Fn>
+  void deliver(int dest, const Fn& fn) const {
+    for (int src = 0; src < shards_; ++src) {
+      const std::vector<unsigned char>& b = buf(src, dest);
+      PADLOCK_REQUIRE(b.size() % kWireRecordBytes == 0);
+      for (std::size_t at = 0; at < b.size(); at += kWireRecordBytes) {
+        std::uint32_t remote_index;
+        Packed p;
+        std::memcpy(&remote_index, b.data() + at, sizeof(remote_index));
+        std::memcpy(&p, b.data() + at + sizeof(remote_index), sizeof(Packed));
+        fn(remote_index, p);
+      }
+    }
+  }
+
+  [[nodiscard]] std::int64_t messages() const { return messages_; }
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+
+  static constexpr std::size_t kWireRecordBytes =
+      sizeof(std::uint32_t) + sizeof(Packed);
+
+ private:
+  [[nodiscard]] std::vector<unsigned char>& buf(int src, int dest) {
+    return inbox_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(shards_) +
+                  static_cast<std::size_t>(dest)];
+  }
+  [[nodiscard]] const std::vector<unsigned char>& buf(int src,
+                                                      int dest) const {
+    return inbox_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(shards_) +
+                  static_cast<std::size_t>(dest)];
+  }
+
+  int shards_;
+  std::vector<std::vector<unsigned char>> inbox_;
+  std::int64_t messages_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace padlock

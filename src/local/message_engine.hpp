@@ -80,17 +80,29 @@
 // run_message_rounds dispatches on message_engine_version(), and the
 // engine-migration tests pin v2 == v3 (outputs + rounds) for every
 // registered pair on every family, serial and pooled.
+//
+// Sharded execution (PR 8): when exec_context().shards (or the thread-local
+// ScopedEngineShards pin) asks for more than one shard, dispatch routes to
+// run_message_rounds_partitioned below — the same round lifecycle run per
+// shard over a graph Partition, with cross-shard messages exchanged at the
+// round barrier through a pluggable Substrate backend
+// (local/engine_substrate.hpp). shards == 1 is this file's v3 path
+// verbatim; sharded ≡ serial bit-identity is pinned for the whole registry
+// by tests/substrate_test.cpp.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/partition.hpp"
 #include "local/engine_bitset.hpp"
+#include "local/engine_substrate.hpp"
 #include "local/message_engine_stats.hpp"
 #include "local/message_engine_v2.hpp"
 #include "support/check.hpp"
@@ -485,17 +497,327 @@ int run_message_rounds_v3(const Graph& g, Alg& alg, std::int64_t max_rounds,
   return static_cast<int>(round64);
 }
 
+/// The partitioned executor: the v3 round lifecycle run per shard of
+/// `part`, with cross-shard halos exchanged through `sub` (a Substrate —
+/// local/engine_substrate.hpp) at the round barrier. Every shard owns a
+/// private slab + presence map over its extended slot space [local
+/// out-slots | halo mirror]; senders write local slots exactly as v3 does
+/// (shifted by the shard's port base), the flush/deliver pair moves the
+/// present cross-shard payloads into the readers' mirrors before any
+/// step() of the round, and readers resolve ports through the partition's
+/// reader_slot table — so PackedInbox works unchanged. Word-aligned shard
+/// boundaries keep every frontier word single-shard, which is what lets
+/// the pooled phases reuse v3's word-chunked write discipline untouched.
+/// Bit-identical to the serial inline run at every shard and thread count.
+template <typename Alg, typename SubstrateT>
+int run_message_rounds_partitioned(const Graph& g, Alg& alg,
+                                   std::int64_t max_rounds,
+                                   MessageEngineStats* stats,
+                                   const Partition& part, SubstrateT& sub) {
+  using Traits = MessageTraits<Alg>;
+  using Packed = typename Traits::Packed;
+
+  const std::size_t n = g.num_nodes();
+  const int S = part.num_shards();
+  const std::uint32_t* rslot = part.reader_slot();
+
+  // Run-scoped per-shard buffers. The substrate's outboxes are the only
+  // structures that may grow after warmup (they retain capacity across
+  // rounds, so growth stops once the busiest round has been seen).
+  std::vector<std::vector<Packed>> slab(static_cast<std::size_t>(S));
+  std::vector<PresenceBuffers> presence;
+  presence.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    slab[static_cast<std::size_t>(s)].resize(part.ext_slots(s));
+    presence.emplace_back(part.ext_slots(s));
+  }
+
+  WordBitset active(n);
+  WordBitset drain(n);
+  const std::size_t num_words = active.num_words();
+
+  std::size_t active_count = 0;
+  std::size_t drain_count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!alg.done(v)) {
+      active.set(v);
+      ++active_count;
+    }
+  }
+  std::size_t busy_words = 0;
+  for (std::size_t w = 0; w < num_words; ++w)
+    if (active.word(w) != 0) ++busy_words;
+
+  MessageEngineStats local;
+  local.shards = S;
+  for (int s = 0; s < S; ++s) {
+    local.bytes_slab += static_cast<std::int64_t>(
+        part.ext_slots(s) * sizeof(Packed) +
+        2 * presence[static_cast<std::size_t>(s)].buffer(0).num_words() *
+            sizeof(std::uint64_t));
+  }
+  local.bytes_state =
+      static_cast<std::int64_t>(2 * num_words * sizeof(std::uint64_t)) +
+      part.bytes();
+
+  std::int64_t round64 = 0;
+  while (active_count > 0) {
+    PADLOCK_REQUIRE(round64 < max_rounds);
+    PADLOCK_REQUIRE(round64 < std::numeric_limits<int>::max());
+    ++round64;
+    const int round = static_cast<int>(round64);
+    local.rounds = round64;
+    local.node_steps += static_cast<std::int64_t>(active_count);
+    local.node_sends += static_cast<std::int64_t>(active_count + drain_count);
+    if (active_count > local.peak_active) local.peak_active = active_count;
+
+    const bool pooled = detail::engine_phase_pooled(busy_words);
+
+    const auto run_phase = [&](const auto& body) {
+      if (!pooled) {
+        ++local.serial_phases;
+        body(std::size_t{0}, num_words);
+        return;
+      }
+      ++local.pooled_phases;
+      parallel_for(0, num_words, detail::kEngineWordGrain,
+                   [&body](std::size_t b, std::size_t e) { body(b, e); });
+    };
+    // Shard-granular dispatch for the exchange phases: one chunk per
+    // shard, so every slab / presence map / outbox row keeps exactly one
+    // writer.
+    const auto run_shards = [&](const auto& body) {
+      if (!pooled) {
+        for (int s = 0; s < S; ++s) body(s);
+        return;
+      }
+      parallel_for(0, static_cast<std::size_t>(S), 1,
+                   [&body](std::size_t b, std::size_t e) {
+                     for (std::size_t s = b; s < e; ++s)
+                       body(static_cast<int>(s));
+                   });
+    };
+
+    // Send phase — v3's, with out-slots rebased into the sender's shard
+    // slab. A word never spans shards, so the shard lookup is per word.
+    run_phase([&](std::size_t wb, std::size_t we) {
+      for (std::size_t w = wb; w < we; ++w) {
+        std::uint64_t bits = active.word(w) | drain.word(w);
+        if (bits == 0) continue;
+        const int sw = part.shard_of_word(w);
+        const std::size_t port_base = part.shard(sw).port_base;
+        WordBitset& pres =
+            presence[static_cast<std::size_t>(sw)].buffer(round);
+        Packed* sslab = slab[static_cast<std::size_t>(sw)].data();
+        const std::size_t base = w * WordBitset::kWordBits;
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          const NodeId v = static_cast<NodeId>(base +
+                                               static_cast<std::size_t>(b));
+          const auto [o, d] = g.port_span(v);
+          if (d == 0) continue;
+          const std::size_t lo = o - port_base;
+          if constexpr (kEngineUniformSend<Alg>) {
+            if (auto m = alg.send(v, 0, round)) {
+              const Packed pm = Traits::pack(*m);
+              Packed* out = sslab + lo;
+              for (std::size_t p = 0; p < d; ++p) out[p] = pm;
+              pres.set_range(lo, lo + d, pooled);
+            }
+          } else {
+            std::size_t wi = lo / WordBitset::kWordBits;
+            std::uint64_t mask = 0;
+            for (std::size_t p = 0; p < d; ++p) {
+              const std::size_t slot = lo + p;
+              const std::size_t sw2 = slot / WordBitset::kWordBits;
+              if (sw2 != wi) {
+                if (mask != 0) pres.or_word(wi, mask, pooled);
+                wi = sw2;
+                mask = 0;
+              }
+              if (auto m = alg.send(v, static_cast<int>(p), round)) {
+                sslab[slot] = Traits::pack(*m);
+                mask |= std::uint64_t{1} << (slot % WordBitset::kWordBits);
+              }
+            }
+            if (mask != 0) pres.or_word(wi, mask, pooled);
+          }
+        }
+      }
+    });
+
+    // Halo exchange. Flush: each source shard walks its halo table and
+    // ships every *present* cross-shard out-slot (absent slots stay
+    // silence at the reader, exactly as in the flat slab). Then the
+    // barrier, counter fold, and delivery: each destination applies its
+    // records — payload into the mirror slot, presence bit on — before
+    // any node steps. Mirror slots are written only here, and only by
+    // their owning shard.
+    sub.begin_round();
+    run_shards([&](int s) {
+      const WordBitset& pres =
+          presence[static_cast<std::size_t>(s)].buffer(round);
+      const Packed* sslab = slab[static_cast<std::size_t>(s)].data();
+      for (const Partition::HaloEntry& e : part.shard(s).halo_out) {
+        if (!pres.test(e.local_slot)) continue;
+        if (std::int64_t& drop = engine_test_drop_halo(); drop >= 0) {
+          if (drop-- == 0) continue;  // the planted loss; knob disarms
+        }
+        sub.push(s, static_cast<int>(e.dest), e.remote_index,
+                 sslab[e.local_slot]);
+      }
+    });
+    sub.finish_flush();
+    run_shards([&](int t) {
+      WordBitset& pres = presence[static_cast<std::size_t>(t)].buffer(round);
+      Packed* tslab = slab[static_cast<std::size_t>(t)].data();
+      const std::size_t mirror_base = part.local_slots(t);
+      sub.deliver(t, [&](std::uint32_t idx, const Packed& p) {
+        tslab[mirror_base + idx] = p;
+        pres.set(mirror_base + idx);
+      });
+    });
+
+    // Step phase: readers resolve every port through the partition's
+    // reader_slot table — intra-shard ports hit the peer's local out-slot,
+    // cross-shard ports the just-delivered mirror — so the inbox view is
+    // the v3 one over the shard's extended slab.
+    run_phase([&](std::size_t wb, std::size_t we) {
+      for (std::size_t w = wb; w < we; ++w) {
+        std::uint64_t bits = active.word(w);
+        if (bits == 0) continue;
+        const int sw = part.shard_of_word(w);
+        const WordBitset& pres =
+            presence[static_cast<std::size_t>(sw)].buffer(round);
+        const Packed* sslab = slab[static_cast<std::size_t>(sw)].data();
+        const std::size_t base = w * WordBitset::kWordBits;
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          const NodeId v = static_cast<NodeId>(base +
+                                               static_cast<std::size_t>(b));
+          const auto [o, d] = g.port_span(v);
+          const PackedInbox<Alg> inbox(rslot + o, static_cast<int>(d), sslab,
+                                       pres.words());
+          alg.step(v, inbox, round);
+        }
+      }
+    });
+
+    // Presence clear, v3's two regimes per shard. Sparse rounds reset the
+    // sender-owned local ranges by frontier sweep, then replay this
+    // round's deliveries to reset exactly the mirror bits that were set —
+    // O(active + halo traffic), never O(cut).
+    if (active_count + drain_count >= n / 8) {
+      run_shards([&](int s) {
+        presence[static_cast<std::size_t>(s)].buffer(round).clear_all();
+      });
+    } else {
+      run_phase([&](std::size_t wb, std::size_t we) {
+        for (std::size_t w = wb; w < we; ++w) {
+          std::uint64_t bits = active.word(w) | drain.word(w);
+          if (bits == 0) continue;
+          const int sw = part.shard_of_word(w);
+          const std::size_t port_base = part.shard(sw).port_base;
+          WordBitset& pres =
+              presence[static_cast<std::size_t>(sw)].buffer(round);
+          const std::size_t base = w * WordBitset::kWordBits;
+          while (bits != 0) {
+            const int b = std::countr_zero(bits);
+            bits &= bits - 1;
+            const NodeId v = static_cast<NodeId>(
+                base + static_cast<std::size_t>(b));
+            const auto [o, d] = g.port_span(v);
+            if (d != 0)
+              pres.reset_range(o - port_base, o - port_base + d, pooled);
+          }
+        }
+      });
+      run_shards([&](int t) {
+        WordBitset& pres =
+            presence[static_cast<std::size_t>(t)].buffer(round);
+        const std::size_t mirror_base = part.local_slots(t);
+        sub.deliver(t, [&](std::uint32_t idx, const Packed&) {
+          pres.reset(mirror_base + idx);
+        });
+      });
+    }
+
+    // Frontier rebuild — identical to v3 (the frontier is global; shards
+    // only partition the slots).
+    std::atomic<std::size_t> next_active{0};
+    std::atomic<std::size_t> next_drain{0};
+    std::atomic<std::size_t> next_busy{0};
+    run_phase([&](std::size_t wb, std::size_t we) {
+      std::size_t a_cnt = 0, d_cnt = 0, busy = 0;
+      for (std::size_t w = wb; w < we; ++w) {
+        const std::uint64_t a = active.word(w);
+        if (a == 0 && drain.word(w) == 0) continue;
+        std::uint64_t keep = 0, halted = 0;
+        std::uint64_t bits = a;
+        const std::size_t base = w * WordBitset::kWordBits;
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          const std::uint64_t mask = bits & (~bits + 1);  // lowest set bit
+          bits &= bits - 1;
+          const NodeId v = static_cast<NodeId>(base +
+                                               static_cast<std::size_t>(b));
+          if (alg.done(v)) halted |= mask;
+          else keep |= mask;
+        }
+        active.word(w) = keep;
+        drain.word(w) = halted;
+        a_cnt += static_cast<std::size_t>(std::popcount(keep));
+        d_cnt += static_cast<std::size_t>(std::popcount(halted));
+        if ((keep | halted) != 0) ++busy;
+      }
+      next_active.fetch_add(a_cnt, std::memory_order_relaxed);
+      next_drain.fetch_add(d_cnt, std::memory_order_relaxed);
+      next_busy.fetch_add(busy, std::memory_order_relaxed);
+    });
+    active_count = next_active.load(std::memory_order_relaxed);
+    drain_count = next_drain.load(std::memory_order_relaxed);
+    busy_words = next_busy.load(std::memory_order_relaxed);
+  }
+
+  local.cross_shard_msgs = sub.messages();
+  local.halo_bytes = sub.bytes();
+  if (stats != nullptr) *stats = local;
+  return static_cast<int>(round64);
+}
+
 /// Executes `alg` on g until every node is done — the drop-in round
-/// executor every round-based algorithm calls. Dispatches to the v3
-/// layout-specialized engine (default) or the kept v2 oracle according to
-/// message_engine_version(); both satisfy the same contract, and their
-/// outputs and round counts are bit-identical (pinned by
-/// tests/message_engine_test.cpp for every registered pair).
+/// executor every round-based algorithm calls. Dispatch order: the kept v2
+/// oracle when message_engine_version() pins it; the partitioned executor
+/// when engine_effective_shards() > 1 and the substrate knob is not
+/// kInline (backend per engine_substrate(): in-process sharded or the
+/// loopback message-passing skeleton); otherwise — and always at shards=1
+/// — the single-slab v3 path, byte for byte the PR 7 engine. All routes
+/// satisfy the same contract with bit-identical outputs and round counts
+/// (pinned by tests/message_engine_test.cpp and tests/substrate_test.cpp
+/// for every registered pair).
 template <typename Alg>
 int run_message_rounds(const Graph& g, Alg& alg, std::int64_t max_rounds,
                        MessageEngineStats* stats = nullptr) {
   if (message_engine_version() == MessageEngineVersion::kV2)
     return run_message_rounds_v2(g, alg, max_rounds, stats);
+  const int shards = engine_effective_shards();
+  if (shards > 1 && g.num_nodes() > 0 &&
+      engine_substrate() != SubstrateKind::kInline) {
+    const std::shared_ptr<const Partition> part = g.partition(shards);
+    if (part->num_shards() > 1) {
+      using Packed = typename MessageTraits<Alg>::Packed;
+      if (engine_substrate() == SubstrateKind::kLoopback) {
+        LoopbackSubstrate<Packed> sub(part->num_shards());
+        return run_message_rounds_partitioned(g, alg, max_rounds, stats,
+                                              *part, sub);
+      }
+      ShardedSubstrate<Packed> sub(part->num_shards());
+      return run_message_rounds_partitioned(g, alg, max_rounds, stats, *part,
+                                            sub);
+    }
+  }
   return run_message_rounds_v3(g, alg, max_rounds, stats);
 }
 

@@ -26,6 +26,29 @@ struct MessageEngineStats {
   // heuristic is pinned through these (tiny frontiers must never pool).
   std::int64_t pooled_phases = 0;
   std::int64_t serial_phases = 0;
+
+  // Substrate accounting (local/engine_substrate.hpp): the shard count the
+  // run executed with (1 = single-slab inline path, including v2/v1), and
+  // the cumulative halo traffic — cross-shard records exchanged at round
+  // barriers and their serialized wire bytes (u32 mirror index + packed
+  // payload each). Zero whenever shards == 1: intra-shard messages never
+  // touch the wire.
+  std::int64_t shards = 1;
+  std::int64_t cross_shard_msgs = 0;
+  std::int64_t halo_bytes = 0;
+
+  /// Surfaces the engine gauges onto an algorithm's Stats counters — the
+  /// one idiom every engine-backed registration uses, so sweep JSON rows
+  /// self-describe their execution (templated to keep this header free of
+  /// core-layer includes).
+  template <typename StatsT>
+  void surface(StatsT& out) const {
+    out.set("engine_bytes_slab", bytes_slab);
+    out.set("engine_bytes_state", bytes_state);
+    out.set("engine_shards", shards);
+    out.set("cross_shard_msgs", cross_shard_msgs);
+    out.set("halo_bytes", halo_bytes);
+  }
 };
 
 }  // namespace padlock
