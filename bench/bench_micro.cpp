@@ -28,6 +28,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +48,7 @@
 #include "lcl/checker.hpp"
 #include "lcl/problems/sinkless_orientation.hpp"
 #include "store/pg.hpp"
+#include "support/parse.hpp"
 #include "local/engine.hpp"
 #include "local/engine_substrate.hpp"
 #include "local/message_engine.hpp"
@@ -387,20 +389,20 @@ void print_rows(const char* title, const SweepOutcome& outcome) {
 
 }  // namespace
 
-// Strict integer option parsing: the whole token must be a base-10
-// integer (atoi-style trailing garbage like "14abc" is a usage error, not
-// a silent 14). Returns false with a usage-style message on stderr.
+// Strict integer option parsing via the shared helper (support/parse.hpp):
+// the whole token must be a base-10 integer in [lo, hi] (atoi-style
+// trailing garbage like "14abc" or "4x" is a usage error, not a silent
+// 14). Returns false with a usage-style message on stderr.
 bool parse_int_opt(const char* flag, const char* token, long lo, long hi,
                    int* out) {
-  char* end = nullptr;
-  const long v = std::strtol(token, &end, 10);
-  if (end == token || *end != '\0' || v < lo || v > hi) {
+  const std::optional<long long> v = parse_integer(token, lo, hi);
+  if (!v) {
     std::fprintf(stderr, "bench_micro: %s expects an integer in %ld..%ld, "
                  "got '%s'\n",
                  flag, lo, hi, token);
     return false;
   }
-  *out = static_cast<int>(v);
+  *out = static_cast<int>(*v);
   return true;
 }
 
@@ -416,8 +418,12 @@ int main(int argc, char** argv) {
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : "";
     };
-    if (arg == "--threads") threads = std::atoi(next());
-    else if (arg == "--repeat") repeat = std::atoi(next());
+    if (arg == "--threads") {
+      if (!parse_int_opt("--threads", next(), 0, 65536, &threads)) return 2;
+    }
+    else if (arg == "--repeat") {
+      if (!parse_int_opt("--repeat", next(), 1, 1000000, &repeat)) return 2;
+    }
     else if (arg == "--engine-max-exp") {
       if (!parse_int_opt("--engine-max-exp", next(), 12, 26, &engine_max_exp))
         return 2;
@@ -432,16 +438,16 @@ int main(int argc, char** argv) {
       sizes.clear();
       std::stringstream ss(next());
       for (std::string tok; std::getline(ss, tok, ',');) {
-        char* end = nullptr;
-        const unsigned long n = std::strtoul(tok.c_str(), &end, 10);
-        if (n == 0 || end == tok.c_str() || *end != '\0') {
+        const std::optional<long long> n =
+            parse_integer(tok, 1, 1LL << 26);
+        if (!n) {
           std::fprintf(stderr,
                        "bench_micro: --sizes expects positive integers, "
                        "got '%s'\n",
                        tok.c_str());
           return 2;
         }
-        sizes.push_back(n);
+        sizes.push_back(static_cast<std::size_t>(*n));
       }
     } else {
       std::fprintf(stderr,

@@ -6,6 +6,7 @@
 //   $ ./derandomization_demo [n]
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "algo/carving.hpp"
 #include "algo/derandomize.hpp"
@@ -14,11 +15,22 @@
 #include "graph/builders.hpp"
 #include "lcl/problems/coloring.hpp"
 #include "lcl/problems/mis.hpp"
+#include "support/parse.hpp"
 
 using namespace padlock;
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
+  std::size_t n = 1024;
+  if (argc > 1) {
+    const std::optional<long long> parsed =
+        parse_integer(argv[1], 1, 1LL << 26);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "usage: derandomization_demo [n]; got '%s'\n", argv[1]);
+      return 2;
+    }
+    n = static_cast<std::size_t>(*parsed);
+  }
   const Graph g = build::random_regular_simple(n, 3, 5);
   const IdMap ids = shuffled_ids(g, 9);
   std::printf("graph: %zu nodes, 3-regular\n\n", g.num_nodes());

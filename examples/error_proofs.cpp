@@ -6,12 +6,14 @@
 //   $ ./error_proofs [delta] [height]
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "gadget/faults.hpp"
 #include "gadget/path_psi.hpp"
 #include "gadget/psi.hpp"
 #include "gadget/verifier.hpp"
+#include "support/parse.hpp"
 
 using namespace padlock;
 
@@ -63,8 +65,21 @@ void print_chain(const Graph& g, const GadgetLabels& labels,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int delta = argc > 1 ? std::atoi(argv[1]) : 3;
-  const int height = argc > 2 ? std::atoi(argv[2]) : 4;
+  int delta = 3;
+  int height = 4;
+  const auto positional = [&](int index, int lo, int hi, int* out) {
+    if (argc <= index) return true;
+    const std::optional<long long> parsed =
+        parse_integer(argv[index], lo, hi);
+    if (!parsed) return false;
+    *out = static_cast<int>(*parsed);
+    return true;
+  };
+  if (!positional(1, 1, 64, &delta) || !positional(2, 1, 64, &height)) {
+    std::fprintf(stderr, "usage: error_proofs [delta in 1..64] "
+                         "[height in 1..64]\n");
+    return 2;
+  }
 
   const GadgetInstance base = build_gadget(delta, height);
   std::printf("tree gadget: delta=%d height=%d -> %zu nodes\n", delta, height,

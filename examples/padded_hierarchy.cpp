@@ -5,16 +5,29 @@
 //   $ ./padded_hierarchy [base_nodes]
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "algo/sinkless_det.hpp"
 #include "algo/sinkless_rand.hpp"
 #include "core/hierarchy.hpp"
 #include "lcl/problems/sinkless_orientation.hpp"
+#include "support/parse.hpp"
 
 using namespace padlock;
 
 int main(int argc, char** argv) {
-  const std::size_t base = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
+  std::size_t base = 128;
+  if (argc > 1) {
+    const std::optional<long long> parsed =
+        parse_integer(argv[1], 1, 1LL << 26);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "usage: padded_hierarchy [base_nodes]; got '%s'\n",
+                   argv[1]);
+      return 2;
+    }
+    base = static_cast<std::size_t>(*parsed);
+  }
   const auto h = build_hierarchy(2, base, 7);
   std::printf(
       "Pi_2 instance: base graph %zu nodes -> padded graph %zu nodes "

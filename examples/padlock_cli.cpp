@@ -29,6 +29,20 @@
 //       the binary graph store: convert ingests an edge list (or re-encodes
 //       a .pg) and writes the compact .pg format; info prints the header,
 //       degree stats, and component count of any graph file
+//   padlock_cli serve    [--port N|--socket <path>] [--host H] [--threads T]
+//                  [--max-in-flight M] [--queue-limit Q]
+//                  [--max-connections C] [--max-request-bytes B]
+//                  [--max-nodes N]
+//       the resident sweep daemon (docs/API.md "Serve"): newline-delimited
+//       JSON requests in, streamed per-row JSON out, one process-wide
+//       GraphCache and thread pool across all requests. --port 0 picks an
+//       ephemeral port (printed on the "listening" banner). Stops on
+//       SIGINT/SIGTERM or a {"op": "shutdown"} request, draining in-flight
+//       work first.
+//
+// Every numeric option is parsed strictly (support/parse.hpp): trailing
+// garbage ("--nodes 16k"), out-of-range values, and negative counts are
+// usage errors (exit 2), never silent truncation to 16 or 0.
 //
 // The gadget/padding tooling (unchanged):
 //   padlock_cli gadget   --delta 3 --height 4 [--fault <name>] [--dot]
@@ -46,7 +60,9 @@
 #include <exception>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/hierarchy.hpp"
@@ -59,13 +75,22 @@
 #include "io/dot.hpp"
 #include "io/serialize.hpp"
 #include "local/message_engine.hpp"
+#include "serve/server.hpp"
 #include "store/edgelist.hpp"
 #include "store/pg.hpp"
+#include "support/parse.hpp"
 #include "support/table.hpp"
+
+#include <csignal>
 
 using namespace padlock;
 
 namespace {
+
+/// A refused option value; main() reports the message and exits 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::map<std::string, std::string> kv;
@@ -74,9 +99,20 @@ struct Args {
     const auto it = kv.find("--" + k);
     return it == kv.end() ? dflt : it->second;
   }
-  long num(const std::string& k, long dflt) const {
+  /// Strict whole-token integer in [lo, hi]. "16k", "4x", "", and
+  /// out-of-range values (including negatives where lo >= 0) are usage
+  /// errors, never a silently truncated or zero value.
+  long long num(const std::string& k, long long dflt, long long lo,
+                long long hi) const {
     const auto it = kv.find("--" + k);
-    return it == kv.end() ? dflt : std::strtol(it->second.c_str(), nullptr, 10);
+    if (it == kv.end()) return dflt;
+    const std::optional<long long> v = parse_integer(it->second, lo, hi);
+    if (!v) {
+      throw UsageError("--" + k + " expects an integer in [" +
+                       std::to_string(lo) + ", " + std::to_string(hi) +
+                       "], got '" + it->second + "'");
+    }
+    return *v;
   }
 };
 
@@ -86,7 +122,12 @@ Args parse(int argc, char** argv, int first) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
     std::string val = "1";
-    if (i + 1 < argc && argv[i + 1][0] != '-') val = argv[++i];
+    // Anything but another --option is the value — including negative
+    // numbers, so "--threads -2" reaches num()'s range check and is
+    // refused instead of silently meaning "no value given".
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      val = argv[++i];
+    }
     a.kv[key] = val;
   }
   return a;
@@ -96,7 +137,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: padlock_cli "
-      "<list|run|sweep|graph|gadget|pad|solve|verify|export> "
+      "<list|run|sweep|serve|graph|gadget|pad|solve|verify|export> "
       "[--options]\n(see header comment of padlock_cli.cpp)\n");
   return 2;
 }
@@ -150,7 +191,7 @@ bool parse_engine_knobs(const Args& a, const char* cmd, std::string* engine,
                  cmd, engine->c_str());
     return false;
   }
-  *shards = static_cast<int>(a.num("shards", 0));
+  *shards = static_cast<int>(a.num("shards", 0, 1, 65535));
   if (a.flag("shards") && *shards < 1) {
     std::fprintf(stderr,
                  "padlock_cli %s: --shards expects a positive shard count, "
@@ -163,20 +204,20 @@ bool parse_engine_knobs(const Args& a, const char* cmd, std::string* engine,
 
 int cmd_run(const std::string& problem, const std::string& algo,
             const Args& a) {
-  const auto n = static_cast<std::size_t>(a.num("nodes", 64));
-  const int degree = static_cast<int>(a.num("degree", 3));
-  const int repeat = static_cast<int>(a.num("repeat", 1));
-  exec_context().threads = static_cast<int>(a.num("threads", 1));
+  const auto n = static_cast<std::size_t>(a.num("nodes", 64, 1, 1LL << 26));
+  const int degree = static_cast<int>(a.num("degree", 3, 0, 1 << 20));
+  const int repeat = static_cast<int>(a.num("repeat", 1, 1, 1000000));
+  exec_context().threads = static_cast<int>(a.num("threads", 1, 0, 65536));
   std::string engine;
   int shards = 0;
   if (!parse_engine_knobs(a, "run", &engine, &shards)) return 2;
   if (shards >= 1) exec_context().shards = shards;
   if (engine == "v2") message_engine_version() = MessageEngineVersion::kV2;
   RunOptions opts;
-  opts.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  opts.seed = static_cast<std::uint64_t>(a.num("seed", 1, 0, (1LL << 62)));
   opts.ids = id_strategy_from_name(a.str("ids", "shuffled"));
   opts.check = !a.flag("no-check");
-  opts.max_violations = static_cast<std::size_t>(a.num("max-violations", 16));
+  opts.max_violations = static_cast<std::size_t>(a.num("max-violations", 16, 0, 1 << 20));
 
   const Graph g =
       build::family(a.str("graph", "cubic-simple"), n, degree, opts.seed);
@@ -245,23 +286,24 @@ int cmd_sweep(const Args& a) {
       plan.pairs.emplace_back(spec.substr(0, slash), spec.substr(slash + 1));
     }
   }
-  const int degree = static_cast<int>(a.num("degree", 3));
-  const auto seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  const int degree = static_cast<int>(a.num("degree", 3, 0, 1 << 20));
+  const auto seed = static_cast<std::uint64_t>(a.num("seed", 1, 0, (1LL << 62)));
   for (const std::string& family : split_list(a.str("family", "regular"))) {
     for (const std::string& size : split_list(a.str("sizes", "256,1024"))) {
-      char* end = nullptr;
-      const unsigned long n = std::strtoul(size.c_str(), &end, 10);
-      if (n == 0 || end == size.c_str() || *end != '\0') {
-        throw RegistryError("--sizes expects positive integers, got '" +
-                            size + "'");
+      const std::optional<long long> n =
+          parse_integer(size, 1, 1LL << 26);
+      if (!n) {
+        throw UsageError("--sizes expects positive integers, got '" + size +
+                         "'");
       }
-      plan.graphs.push_back({family, n, degree, seed});
+      plan.graphs.push_back(
+          {family, static_cast<std::size_t>(*n), degree, seed});
     }
   }
   plan.options.seed = seed;
   plan.options.check = !a.flag("no-check");
-  plan.repeat = static_cast<int>(a.num("repeat", 1));
-  plan.threads = static_cast<int>(a.num("threads", 0));
+  plan.repeat = static_cast<int>(a.num("repeat", 1, 1, 1000000));
+  plan.threads = static_cast<int>(a.num("threads", 0, 0, 65536));
   plan.use_cache = !a.flag("no-cache");
   if (!parse_engine_knobs(a, "sweep", &plan.engine, &plan.shards)) return 2;
 
@@ -394,12 +436,12 @@ GadgetFault fault_by_name(const std::string& name) {
 }
 
 int cmd_gadget(const Args& a) {
-  const int delta = static_cast<int>(a.num("delta", 3));
-  const int height = static_cast<int>(a.num("height", 4));
+  const int delta = static_cast<int>(a.num("delta", 3, 1, 64));
+  const int height = static_cast<int>(a.num("height", 4, 1, 64));
   GadgetInstance inst = build_gadget(delta, height);
   if (a.flag("fault")) {
     inst = inject_fault(inst, fault_by_name(a.str("fault", "")),
-                        static_cast<std::uint64_t>(a.num("seed", 1)));
+                        static_cast<std::uint64_t>(a.num("seed", 1, 0, (1LL << 62))));
   }
   if (a.flag("dot")) {
     io::write_gadget_dot(std::cout, inst);
@@ -415,10 +457,10 @@ int cmd_gadget(const Args& a) {
 }
 
 int cmd_pad(const Args& a) {
-  std::size_t base_nodes = static_cast<std::size_t>(a.num("base-nodes", 16));
-  const int delta = static_cast<int>(a.num("delta", 3));
-  const int height = static_cast<int>(a.num("height", 3));
-  const auto seed = static_cast<std::uint64_t>(a.num("seed", 7));
+  std::size_t base_nodes = static_cast<std::size_t>(a.num("base-nodes", 16, 1, 1LL << 26));
+  const int delta = static_cast<int>(a.num("delta", 3, 1, 64));
+  const int height = static_cast<int>(a.num("height", 3, 1, 64));
+  const auto seed = static_cast<std::uint64_t>(a.num("seed", 7, 0, (1LL << 62)));
   // The configuration model needs an even degree sum.
   if ((base_nodes * static_cast<std::size_t>(delta)) % 2 != 0) ++base_nodes;
   const Graph base = build::random_regular(base_nodes, delta, seed);
@@ -439,10 +481,10 @@ int cmd_pad(const Args& a) {
 }
 
 int cmd_solve(const Args& a) {
-  const int levels = static_cast<int>(a.num("levels", 2));
+  const int levels = static_cast<int>(a.num("levels", 2, 1, 64));
   const std::size_t base_nodes =
-      static_cast<std::size_t>(a.num("base-nodes", 64));
-  const auto seed = static_cast<std::uint64_t>(a.num("seed", 7));
+      static_cast<std::size_t>(a.num("base-nodes", 64, 1, 1LL << 26));
+  const auto seed = static_cast<std::uint64_t>(a.num("seed", 7, 0, (1LL << 62)));
   const bool randomized = a.flag("rand");
   const Hierarchy h = build_hierarchy(levels, base_nodes, seed);
   const auto res = solve_hierarchy(h, randomized, seed);
@@ -474,8 +516,8 @@ int cmd_verify(const Args&) {
 
 int cmd_export(const Args& a) {
   const std::string kind = a.str("kind", "cycle");
-  const std::size_t n = static_cast<std::size_t>(a.num("nodes", 32));
-  const auto seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  const std::size_t n = static_cast<std::size_t>(a.num("nodes", 32, 1, 1LL << 26));
+  const auto seed = static_cast<std::uint64_t>(a.num("seed", 1, 0, (1LL << 62)));
   Graph g;
   if (kind == "cycle") {
     g = build::cycle(n);
@@ -492,6 +534,64 @@ int cmd_export(const Args& a) {
   } else {
     io::write_graph(std::cout, g);
   }
+  return 0;
+}
+
+// SIGINT/SIGTERM only set a flag; the serve loop below polls it between
+// wait_for_shutdown() timeouts and runs the graceful drain itself.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_signal(int) { g_serve_stop = 1; }
+
+// The resident sweep daemon (src/serve/, docs/API.md "Serve").
+int cmd_serve(const Args& a) {
+  serve::ServerOptions opts;
+  opts.host = a.str("host", "127.0.0.1");
+  opts.port = static_cast<int>(a.num("port", 0, 0, 65535));
+  opts.unix_path = a.str("socket", "");
+  opts.max_in_flight = static_cast<int>(a.num("max-in-flight", 2, 1, 256));
+  opts.queue_limit = static_cast<int>(a.num("queue-limit", 8, 0, 4096));
+  opts.max_connections =
+      static_cast<int>(a.num("max-connections", 64, 1, 4096));
+  opts.max_request_bytes = static_cast<std::size_t>(
+      a.num("max-request-bytes", 1LL << 20, 64, 1LL << 28));
+  opts.limits.max_nodes = static_cast<std::size_t>(
+      a.num("max-nodes", 1LL << 22, 1, 1LL << 26));
+  // The one process-wide worker pool every request shares; requests
+  // themselves cannot resize it (plan.threads stays 0 by protocol
+  // contract).
+  exec_context().threads = static_cast<int>(a.num("threads", 0, 0, 65536));
+
+  serve::Server server(opts);
+  server.start();
+  if (!opts.unix_path.empty()) {
+    std::printf("serve: listening on unix:%s\n", opts.unix_path.c_str());
+  } else {
+    std::printf("serve: listening on %s:%d\n", opts.host.c_str(),
+                server.port());
+  }
+  std::printf("serve: threads=%d max-in-flight=%d queue-limit=%d "
+              "max-request-bytes=%zu\n",
+              resolved_threads(), opts.max_in_flight, opts.queue_limit,
+              opts.max_request_bytes);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, serve_signal);
+  std::signal(SIGTERM, serve_signal);
+  while (g_serve_stop == 0 && !server.wait_for_shutdown(200)) {
+  }
+  server.stop();
+
+  const serve::ServeStats s = server.stats();
+  std::printf("serve: drained; %llu connections, %llu requests "
+              "(%llu completed, %llu rejected, %llu bad, %llu oversized), "
+              "%llu rows streamed\n",
+              static_cast<unsigned long long>(s.connections),
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.rejected),
+              static_cast<unsigned long long>(s.bad_requests),
+              static_cast<unsigned long long>(s.oversized),
+              static_cast<unsigned long long>(s.rows_streamed));
   return 0;
 }
 
@@ -522,6 +622,7 @@ int main(int argc, char** argv) {
     }
     const Args a = parse(argc, argv, 2);
     if (cmd == "sweep") return cmd_sweep(a);
+    if (cmd == "serve") return cmd_serve(a);
     if (cmd == "gadget") return cmd_gadget(a);
     if (cmd == "pad") return cmd_pad(a);
     if (cmd == "solve") return cmd_solve(a);

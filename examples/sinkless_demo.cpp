@@ -6,14 +6,26 @@
 //   $ ./sinkless_demo [log2_n]
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "core/runner.hpp"
+#include "support/parse.hpp"
 #include "graph/builders.hpp"
 
 using namespace padlock;
 
 int main(int argc, char** argv) {
-  const int lg = argc > 1 ? std::atoi(argv[1]) : 14;
+  int lg = 14;
+  if (argc > 1) {
+    const std::optional<long long> parsed = parse_integer(argv[1], 1, 26);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "usage: sinkless_demo [log2_n in 1..26]; got '%s'\n",
+                   argv[1]);
+      return 2;
+    }
+    lg = static_cast<int>(*parsed);
+  }
   const std::size_t n = std::size_t{1} << lg;
   std::printf("sinkless orientation on a random cubic graph, n = %zu\n", n);
 

@@ -406,66 +406,88 @@ SweepOutcome run_batch(const ExecutionPlan& plan) {
           // still says which cell of a multi-size sweep it was.
           row.nodes = plan.graphs[gi].nodes;
 
-          if (!pair.error.empty()) {
-            row.status = RowStatus::kError;
-            row.error = pair.error;
-            continue;
-          }
-          if (!graph_errors[gi].empty()) {
-            row.status = RowStatus::kError;
-            row.error = "graph menu: " + graph_errors[gi];
-            continue;
-          }
-          const Graph& g = *graphs[gi];
-          row.nodes = g.num_nodes();
-          row.edges = g.num_edges();
-
-          std::vector<std::uint64_t> times;
-          times.reserve(static_cast<std::size_t>(plan.repeat));
-          try {
-            if (pair.algo->precondition && !pair.algo->precondition(g)) {
-              row.status = RowStatus::kSkipped;
-              row.note = pair.algo->requires_text.empty()
-                             ? "precondition failed"
-                             : pair.algo->requires_text;
-              continue;
+          // The row's work, as a block so every early-out path (poisoned
+          // pair/graph, skip) still reaches the streaming hook below.
+          [&] {
+            if (!pair.error.empty()) {
+              row.status = RowStatus::kError;
+              row.error = pair.error;
+              return;
             }
-            bool reported = false;  // rounds/stats taken yet?
-            for (int r = 0; r < plan.repeat; ++r) {
-              RunOptions opts = plan.options;
-              opts.seed += static_cast<std::uint64_t>(r);
-              const auto t0 = Clock::now();
-              const SolveOutcome solved = run(*pair.problem, *pair.algo, g,
-                                              opts);
-              times.push_back(elapsed_ns(t0));
-              // rounds/stats come from the first *verified* repeat, so a
-              // failed repeat 0 cannot masquerade as the reported result.
-              if (!reported && solved.ok()) {
-                row.rounds = solved.rounds.rounds;
-                row.stats = solved.stats;
-                reported = true;
+            if (!graph_errors[gi].empty()) {
+              row.status = RowStatus::kError;
+              row.error = "graph menu: " + graph_errors[gi];
+              return;
+            }
+            const Graph& g = *graphs[gi];
+            row.nodes = g.num_nodes();
+            row.edges = g.num_edges();
+
+            std::vector<std::uint64_t> times;
+            times.reserve(static_cast<std::size_t>(plan.repeat));
+            try {
+              if (pair.algo->precondition && !pair.algo->precondition(g)) {
+                row.status = RowStatus::kSkipped;
+                row.note = pair.algo->requires_text.empty()
+                               ? "precondition failed"
+                               : pair.algo->requires_text;
+                return;
               }
-              if (!solved.ok()) {
-                row.status = RowStatus::kVerifyFailed;
-                if (row.note.empty()) {
-                  row.note =
-                      "verification failed (seed " + std::to_string(opts.seed) +
-                      ", " +
-                      std::to_string(solved.verification.total_violations) +
-                      " sites)";
+              bool reported = false;  // rounds/stats taken yet?
+              for (int r = 0; r < plan.repeat; ++r) {
+                RunOptions opts = plan.options;
+                opts.seed += static_cast<std::uint64_t>(r);
+                const auto t0 = Clock::now();
+                const SolveOutcome solved = run(*pair.problem, *pair.algo, g,
+                                                opts);
+                times.push_back(elapsed_ns(t0));
+                // rounds/stats come from the first *verified* repeat, so a
+                // failed repeat 0 cannot masquerade as the reported result.
+                if (!reported && solved.ok()) {
+                  row.rounds = solved.rounds.rounds;
+                  row.stats = solved.stats;
+                  reported = true;
+                }
+                if (!solved.ok()) {
+                  row.status = RowStatus::kVerifyFailed;
+                  if (row.note.empty()) {
+                    row.note =
+                        "verification failed (seed " +
+                        std::to_string(opts.seed) + ", " +
+                        std::to_string(solved.verification.total_violations) +
+                        " sites)";
+                  }
                 }
               }
+              if (!reported && row.status == RowStatus::kVerifyFailed) {
+                row.note += "; rounds/stats zeroed (no verified repeat)";
+              }
+            } catch (...) {
+              // Completed repeats keep their timings; the remaining ones
+              // are abandoned (a deterministic throw would just repeat
+              // itself).
+              row.status = RowStatus::kError;
+              row.error = describe_current_exception();
             }
-            if (!reported && row.status == RowStatus::kVerifyFailed) {
-              row.note += "; rounds/stats zeroed (no verified repeat)";
+            fill_wall_stats(std::move(times), row);
+          }();
+
+          // Per-row streaming delivery (the serve daemon). A throwing hook
+          // must not poison the computed result — the failure is recorded
+          // on the row and the sweep carries on.
+          if (plan.on_row) {
+            try {
+              plan.on_row(i, row);
+            } catch (...) {
+              std::string hook_error;
+              try {
+                hook_error = describe_current_exception();
+              } catch (...) {
+              }
+              row.note += (row.note.empty() ? "" : "; ");
+              row.note += "on_row hook failed: " + hook_error;
             }
-          } catch (...) {
-            // Completed repeats keep their timings; the remaining ones are
-            // abandoned (a deterministic throw would just repeat itself).
-            row.status = RowStatus::kError;
-            row.error = describe_current_exception();
           }
-          fill_wall_stats(std::move(times), row);
         }
       });
   stamp_chunk_faults(faults, outcome.rows);
@@ -565,7 +587,46 @@ std::uint64_t edges_per_sec(const SweepRow& row) {
       traversals * 1e9 / static_cast<double>(row.wall_ns_min));
 }
 
+// One row object, exactly as it appears inside to_json's "rows" array;
+// row_to_json exposes the same bytes to the serve daemon's streaming path.
+void append_row_json(std::ostringstream& out, const SweepRow& row) {
+  out << "{\"problem\": \"" << json_escape(row.problem)
+      << "\", \"algo\": \"" << json_escape(row.algo) << "\", \"family\": \""
+      << json_escape(row.graph.family) << "\", \"nodes\": " << row.nodes
+      << ", \"edges\": " << row.edges << ", \"rounds\": " << row.rounds
+      << ", \"status\": \"" << row_status_name(row.status)
+      << "\", \"ok\": " << (row.ok() ? "true" : "false")
+      << ", \"skipped\": " << (row.skipped() ? "true" : "false");
+  if (!row.note.empty()) {
+    out << ", \"note\": \"" << json_escape(row.note) << "\"";
+  }
+  if (!row.error.empty()) {
+    out << ", \"error\": \"" << json_escape(row.error) << "\"";
+  }
+  out << ", \"repeat\": " << row.repeat
+      << ", \"wall_ns_min\": " << row.wall_ns_min
+      << ", \"wall_ns_median\": " << row.wall_ns_median
+      << ", \"edges_per_sec\": " << edges_per_sec(row);
+  if (!row.stats.entries.empty()) {
+    out << ", \"stats\": {";
+    bool first_stat = true;
+    for (const auto& [key, value] : row.stats.entries) {
+      if (!first_stat) out << ", ";
+      first_stat = false;
+      out << "\"" << json_escape(key) << "\": " << value;
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
 }  // namespace
+
+std::string row_to_json(const SweepRow& row) {
+  std::ostringstream out;
+  append_row_json(out, row);
+  return out.str();
+}
 
 std::string to_json(const SweepOutcome& outcome) {
   std::ostringstream out;
@@ -580,34 +641,8 @@ std::string to_json(const SweepOutcome& outcome) {
   for (const SweepRow& row : outcome.rows) {
     if (!first) out << ",";
     first = false;
-    out << "\n  {\"problem\": \"" << json_escape(row.problem)
-        << "\", \"algo\": \"" << json_escape(row.algo) << "\", \"family\": \""
-        << json_escape(row.graph.family) << "\", \"nodes\": " << row.nodes
-        << ", \"edges\": " << row.edges << ", \"rounds\": " << row.rounds
-        << ", \"status\": \"" << row_status_name(row.status)
-        << "\", \"ok\": " << (row.ok() ? "true" : "false")
-        << ", \"skipped\": " << (row.skipped() ? "true" : "false");
-    if (!row.note.empty()) {
-      out << ", \"note\": \"" << json_escape(row.note) << "\"";
-    }
-    if (!row.error.empty()) {
-      out << ", \"error\": \"" << json_escape(row.error) << "\"";
-    }
-    out << ", \"repeat\": " << row.repeat
-        << ", \"wall_ns_min\": " << row.wall_ns_min
-        << ", \"wall_ns_median\": " << row.wall_ns_median
-        << ", \"edges_per_sec\": " << edges_per_sec(row);
-    if (!row.stats.entries.empty()) {
-      out << ", \"stats\": {";
-      bool first_stat = true;
-      for (const auto& [key, value] : row.stats.entries) {
-        if (!first_stat) out << ", ";
-        first_stat = false;
-        out << "\"" << json_escape(key) << "\": " << value;
-      }
-      out << "}";
-    }
-    out << "}";
+    out << "\n  ";
+    append_row_json(out, row);
   }
   out << "\n]}\n";
   return out.str();

@@ -88,6 +88,8 @@ struct GraphSpec {
   std::uint64_t seed = 1;
 };
 
+struct SweepRow;  // the on_row hook's payload; defined below
+
 /// What to execute: pairs × graphs, `repeat` timed runs each.
 struct ExecutionPlan {
   /// (problem, algorithm) name pairs; empty = every registered pair.
@@ -121,6 +123,17 @@ struct ExecutionPlan {
   /// untouched; the rows are bit-identical either way (builders are
   /// deterministic), only the wall clock and the cache counters differ.
   bool use_cache = true;
+  /// Row-streaming hook (the serve daemon's per-row delivery path,
+  /// docs/API.md "Serve"): invoked once per finished row — ok, skipped,
+  /// verify_failed, and error rows alike — from whichever pool worker
+  /// completed it, concurrently with other rows, so the callback must be
+  /// thread-safe. `index` is the row's pair-major position in
+  /// SweepOutcome::rows; the row reference is only valid for the duration
+  /// of the call (the final rows are returned as usual). A throwing hook
+  /// never poisons the batch: the failure is appended to that row's note
+  /// and the sweep continues. Rows stamped by a chunk-level fault
+  /// (allocation failure in the bookkeeping itself) are not reported.
+  std::function<void(std::size_t index, const SweepRow& row)> on_row;
 };
 
 /// Row-scoped outcome taxonomy: failure is a first-class result, never a
@@ -262,5 +275,13 @@ SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
 /// pinned by the golden-snapshot test (tests/sweep_json_test.cpp); changing
 /// it means regenerating the committed fixture.
 [[nodiscard]] std::string to_json(const SweepOutcome& outcome);
+
+/// One sweep row rendered as exactly the JSON object to_json emits inside
+/// its "rows" array — the unit the serve daemon streams per completed row
+/// (src/serve/, docs/API.md "Serve"). Sharing the renderer is what makes a
+/// streamed row bit-identical to the same row of an offline sweep (up to
+/// the wall-clock fields); pinned by tests/serve_test.cpp and the sweep
+/// golden.
+[[nodiscard]] std::string row_to_json(const SweepRow& row);
 
 }  // namespace padlock

@@ -1,0 +1,45 @@
+// Strict integer parsing shared by every entry point that turns untrusted
+// text into numbers: the CLI/bench flag parsers and the serve daemon's wire
+// schema (src/serve/protocol.cpp).
+//
+// The atoi/strtol family silently accepts trailing garbage ("4x" -> 4,
+// "16k" -> 16) and turns non-numeric tokens into 0 — at an option boundary
+// that means a typo'd `--threads 4x` quietly runs a different configuration
+// than asked. These helpers accept a token only when the WHOLE token is one
+// base-10 integer that fits the requested range; anything else is a parse
+// failure the caller must turn into a usage error, never a silent default,
+// truncation, or clamp.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string_view>
+
+namespace padlock {
+
+/// Whole-token strict base-10 parse: digits with an optional leading '-'
+/// (no '+', no whitespace, no trailing characters, no hex). Empty tokens
+/// and values that overflow long long fail.
+[[nodiscard]] inline std::optional<long long> parse_integer(
+    std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value, 10);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// parse_integer plus an inclusive [lo, hi] range check; out-of-range is a
+/// refusal, never a clamp (a clamped `--nodes 0` would silently run a
+/// different instance than asked).
+[[nodiscard]] inline std::optional<long long> parse_integer(
+    std::string_view token, long long lo, long long hi) {
+  const std::optional<long long> value = parse_integer(token);
+  if (!value || *value < lo || *value > hi) return std::nullopt;
+  return value;
+}
+
+}  // namespace padlock

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -11,6 +12,7 @@
 #include <string_view>
 
 #include "support/check.hpp"
+#include "support/parse.hpp"
 
 namespace padlock {
 
@@ -30,8 +32,18 @@ ExecContext& exec_context() {
 void set_threads_from_args(int argc, char** argv, int fallback) {
   exec_context().threads = fallback;
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string_view(argv[i]) == "--threads")
-      exec_context().threads = std::atoi(argv[i + 1]);
+    if (std::string_view(argv[i]) != "--threads") continue;
+    // Strict parse (support/parse.hpp): "4x" or "-2" is a usage error, not
+    // a silent 0 (which would quietly mean hardware concurrency).
+    const std::optional<long long> threads =
+        parse_integer(argv[i + 1], 0, 65536);
+    if (!threads) {
+      std::fprintf(stderr,
+                   "--threads expects an integer in [0, 65536], got '%s'\n",
+                   argv[i + 1]);
+      std::exit(2);
+    }
+    exec_context().threads = static_cast<int>(*threads);
   }
 }
 

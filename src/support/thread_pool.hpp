@@ -65,7 +65,9 @@ struct ExecContext {
 
 /// Applies the conventional `--threads N` flag (shared by the benches) to
 /// exec_context().threads; a missing or valueless flag leaves `fallback`
-/// (0 = hardware concurrency).
+/// (0 = hardware concurrency). N is parsed strictly (support/parse.hpp):
+/// a malformed or out-of-range value prints a usage error and exits 2,
+/// never silently becomes 0.
 void set_threads_from_args(int argc, char** argv, int fallback = 0);
 
 /// exec_context().threads with 0 resolved to the hardware concurrency

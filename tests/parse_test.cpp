@@ -1,0 +1,65 @@
+// Strict integer parsing (support/parse.hpp): the shared helper behind
+// every CLI/bench flag and the serve daemon's schema. The contract under
+// test: the WHOLE token must be one base-10 integer inside the requested
+// range — trailing garbage, overflow, and out-of-range values are
+// refusals (nullopt), never a truncated value, a silent 0, or a clamp.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "support/parse.hpp"
+
+namespace padlock {
+namespace {
+
+TEST(ParseInteger, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_integer("0"), 0);
+  EXPECT_EQ(parse_integer("14"), 14);
+  EXPECT_EQ(parse_integer("-7"), -7);
+  EXPECT_EQ(parse_integer("9223372036854775807"),
+            std::numeric_limits<long long>::max());
+  EXPECT_EQ(parse_integer("-9223372036854775808"),
+            std::numeric_limits<long long>::min());
+}
+
+TEST(ParseInteger, RefusesTrailingGarbage) {
+  // The atoi/strtol bug class this helper exists to kill: "16k" was
+  // silently 16, "4x" silently 4.
+  EXPECT_FALSE(parse_integer("16k"));
+  EXPECT_FALSE(parse_integer("4x"));
+  EXPECT_FALSE(parse_integer("14abc"));
+  EXPECT_FALSE(parse_integer("1 "));
+  EXPECT_FALSE(parse_integer("1.5"));
+  EXPECT_FALSE(parse_integer("1e3"));
+}
+
+TEST(ParseInteger, RefusesNonNumericAndEmpty) {
+  EXPECT_FALSE(parse_integer(""));
+  EXPECT_FALSE(parse_integer("abc"));
+  EXPECT_FALSE(parse_integer("-"));
+  EXPECT_FALSE(parse_integer(" 1"));  // no whitespace skipping
+  EXPECT_FALSE(parse_integer("+5"));  // no '+' prefix
+  EXPECT_FALSE(parse_integer("0x10"));
+}
+
+TEST(ParseInteger, RefusesOverflow) {
+  EXPECT_FALSE(parse_integer("9223372036854775808"));
+  EXPECT_FALSE(parse_integer("-9223372036854775809"));
+  EXPECT_FALSE(parse_integer("99999999999999999999999999"));
+}
+
+TEST(ParseInteger, RangeIsARefusalNotAClamp) {
+  EXPECT_EQ(parse_integer("5", 1, 10), 5);
+  EXPECT_EQ(parse_integer("1", 1, 10), 1);
+  EXPECT_EQ(parse_integer("10", 1, 10), 10);
+  // Out of range must come back empty — a clamped "--nodes 0" would
+  // silently run a different instance than asked.
+  EXPECT_FALSE(parse_integer("0", 1, 10));
+  EXPECT_FALSE(parse_integer("11", 1, 10));
+  EXPECT_FALSE(parse_integer("-2", 0, 65536));  // negative --threads
+  EXPECT_FALSE(parse_integer("16k", 1, 1 << 20));
+}
+
+}  // namespace
+}  // namespace padlock

@@ -1,0 +1,497 @@
+// serve_loadgen — load generator and health check for the resident sweep
+// daemon (`padlock_cli serve`, src/serve/, docs/API.md "Serve").
+//
+// Replays a deterministic menu of mixed requests — healthy runs and sweeps
+// over several registered pairs, pings, malformed JSON, schema violations
+// ("nodes": "16k"), and unknown-pair requests that poison only their own
+// row — across K concurrent connections, then verifies the daemon still
+// answers (ping + stats on a fresh connection). Latency is measured per
+// request from first byte sent to terminal line received; the summary goes
+// to BENCH_serve.json:
+//
+//   {"requests": ..., "connections": ..., "completed": ..., "rows": ...,
+//    "bad_requests": ..., "rejected": ..., "failures": 0,
+//    "wall_ns": ..., "p50_ns": ..., "p90_ns": ..., "p99_ns": ...,
+//    "requests_per_sec": ..., "rows_per_sec": ...}
+//
+// `failures` counts protocol violations (unexpected disconnect, missing
+// terminal line, wrong correlation id, a healthy request answered with an
+// error) — the acceptance gate is failures == 0 with every request
+// answered. Exit status: 0 healthy, 1 failures detected, 2 usage.
+//
+// Usage: serve_loadgen [--host H] [--port N | --socket PATH]
+//                      [--connections K] [--requests N] [--nodes N]
+//                      [--json PATH] [--no-json] [--shutdown]
+//
+// --shutdown sends {"op": "shutdown"} after the health check so a CI job
+// can wait for the daemon process to drain and exit on its own.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/parse.hpp"
+
+using padlock::parse_integer;
+
+namespace {
+
+// Minimal blocking line client (mirrors the daemon's framing: one JSON
+// object per '\n'-terminated line each way).
+class Client {
+ public:
+  bool connect_tcp(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      close();
+      return false;
+    }
+    return true;
+  }
+
+  bool connect_unix(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) return false;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      close();
+      return false;
+    }
+    return true;
+  }
+
+  bool send_line(const std::string& line) {
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n =
+          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // One response line without its '\n'; nullopt on EOF/error.
+  std::optional<std::string> read_line() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct Config {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string unix_path;
+  int connections = 8;
+  int requests = 1200;
+  long long nodes = 256;
+  std::string json_path = "BENCH_serve.json";
+  bool shutdown_after = false;
+};
+
+bool connect_client(Client& c, const Config& cfg) {
+  return cfg.unix_path.empty() ? c.connect_tcp(cfg.host, cfg.port)
+                               : c.connect_unix(cfg.unix_path);
+}
+
+// Crude field probes — the response schema is flat and produced by our own
+// protocol.cpp, so substring checks against the quoted key are reliable
+// here (the loadgen deliberately has no JSON parser dependency).
+bool has_field(const std::string& line, const std::string& key,
+               const std::string& value) {
+  return line.find("\"" + key + "\": " + value) != std::string::npos;
+}
+bool has_type(const std::string& line, const std::string& type) {
+  return has_field(line, "type", "\"" + type + "\"");
+}
+
+// The deterministic request menu: index -> (line, expectation). Healthy
+// kinds expect a done line; poison kinds expect an error answer; the
+// unknown-pair kind is healthy at the protocol level (its failure is a
+// row-scoped "error" status row followed by done/failed).
+enum class Expect { kDone, kDoneFailed, kError, kPong };
+
+struct MenuEntry {
+  std::string line;
+  Expect expect;
+};
+
+MenuEntry menu_entry(int index, long long nodes) {
+  const std::string id = "\"id\": \"q" + std::to_string(index) + "\"";
+  const std::string n = std::to_string(nodes);
+  switch (index % 12) {
+    case 0:
+      return {"{\"op\": \"run\", " + id +
+                  ", \"problem\": \"mis\", \"algo\": \"luby\", \"nodes\": " +
+                  n + "}\n",
+              Expect::kDone};
+    case 1:
+      return {"{\"op\": \"run\", " + id +
+                  ", \"problem\": \"weak-coloring\", \"algo\": "
+                  "\"pointer-parity\", \"nodes\": " +
+                  n + ", \"family\": \"cubic-simple\"}\n",
+              Expect::kDone};
+    case 2:
+      return {"{\"op\": \"run\", " + id +
+                  ", \"problem\": \"3-coloring\", \"algo\": "
+                  "\"cole-vishkin\", \"family\": \"cycle\", \"nodes\": " +
+                  n + "}\n",
+              Expect::kDone};
+    case 3:
+      return {"{\"op\": \"sweep\", " + id +
+                  ", \"pairs\": [\"mis/luby\", \"matching/"
+                  "propose-accept\"], \"sizes\": [64, 128]}\n",
+              Expect::kDone};
+    case 4:
+      return {"{\"op\": \"run\", " + id +
+                  ", \"problem\": \"sinkless-orientation\", \"algo\": "
+                  "\"propose-repair\", \"family\": \"high-girth\", "
+                  "\"nodes\": " +
+                  n + "}\n",
+              Expect::kDone};
+    case 5:
+      return {"{\"op\": \"ping\", " + id + "}\n", Expect::kPong};
+    case 6:  // malformed JSON: framing survives, answer is bad_request
+      return {"{\"op\": \"run\", " + id + ", \"nodes\": \n", Expect::kError};
+    case 7:  // schema violation: the strtol-era "16k" bug, now refused
+      return {"{\"op\": \"run\", " + id +
+                  ", \"problem\": \"mis\", \"algo\": \"luby\", "
+                  "\"nodes\": \"16k\"}\n",
+              Expect::kError};
+    case 8:  // unknown top-level key
+      return {"{\"op\": \"run\", " + id +
+                  ", \"problem\": \"mis\", \"algo\": \"luby\", "
+                  "\"bogus\": 1}\n",
+              Expect::kError};
+    case 9:  // unknown pair: row-scoped failure, done line says "failed"
+      return {"{\"op\": \"run\", " + id +
+                  ", \"problem\": \"no-such-problem\", \"algo\": \"none\"}\n",
+              Expect::kDoneFailed};
+    case 10:
+      return {"{\"op\": \"run\", " + id +
+                  ", \"problem\": \"matching\", \"algo\": "
+                  "\"propose-accept\", \"nodes\": " +
+                  n + ", \"repeat\": 2}\n",
+              Expect::kDone};
+    default:  // wrong type for a knob
+      return {"{\"op\": \"sweep\", " + id + ", \"sizes\": [true]}\n",
+              Expect::kError};
+  }
+}
+
+struct WorkerResult {
+  std::vector<std::uint64_t> latencies_ns;
+  std::uint64_t rows = 0;
+  std::uint64_t completed = 0;     // done with status ok
+  std::uint64_t done_failed = 0;   // done with status failed (expected)
+  std::uint64_t bad_requests = 0;  // error answers to poison requests
+  std::uint64_t rejected = 0;      // admission-control rejections (retried)
+  std::uint64_t failures = 0;      // protocol violations — must stay 0
+};
+
+// One connection's share of the menu, sequentially. Rejected requests are
+// counted and retried after a backoff (admission control answering
+// `rejected` is correct daemon behavior, not a failure).
+void run_worker(const Config& cfg, int worker, int first, int count,
+                WorkerResult& out) {
+  using Clock = std::chrono::steady_clock;
+  Client client;
+  if (!connect_client(client, cfg)) {
+    out.failures += static_cast<std::uint64_t>(count);
+    return;
+  }
+  for (int i = first; i < first + count; ++i) {
+    const MenuEntry entry = menu_entry(i, cfg.nodes);
+    const std::string id = "q" + std::to_string(i);
+    for (int attempt = 0;; ++attempt) {
+      const auto t0 = Clock::now();
+      if (!client.send_line(entry.line)) {
+        ++out.failures;
+        break;
+      }
+      // Read until this request's terminal line.
+      bool terminal = false, retry = false;
+      while (!terminal) {
+        const std::optional<std::string> line = client.read_line();
+        if (!line) {
+          ++out.failures;  // daemon hung up mid-request
+          client.close();
+          break;
+        }
+        if (has_type(*line, "row")) {
+          ++out.rows;
+          continue;
+        }
+        if (has_type(*line, "accepted")) continue;
+        terminal = true;
+        const std::uint64_t ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+        if (has_type(*line, "pong")) {
+          if (entry.expect == Expect::kPong) {
+            out.latencies_ns.push_back(ns);
+            ++out.completed;
+          } else {
+            ++out.failures;
+          }
+          continue;
+        }
+        if (has_type(*line, "done")) {
+          const bool failed = has_field(*line, "status", "\"failed\"");
+          const Expect want = failed ? Expect::kDoneFailed : Expect::kDone;
+          if (entry.expect == want &&
+              line->find("\"id\": \"" + id + "\"") != std::string::npos) {
+            out.latencies_ns.push_back(ns);
+            ++out.completed;
+            if (failed) ++out.done_failed;
+          } else {
+            ++out.failures;
+          }
+          continue;
+        }
+        if (has_type(*line, "error")) {
+          if (has_field(*line, "status", "\"rejected\"")) {
+            ++out.rejected;
+            retry = true;
+            continue;
+          }
+          if (entry.expect == Expect::kError) {
+            out.latencies_ns.push_back(ns);
+            ++out.bad_requests;
+          } else {
+            ++out.failures;
+          }
+          continue;
+        }
+        ++out.failures;  // unrecognized response line
+      }
+      if (!client.connected() && !connect_client(client, cfg)) {
+        out.failures += static_cast<std::uint64_t>(first + count - i);
+        return;
+      }
+      if (retry && attempt < 50) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(5 * (worker % 4 + 1)));
+        continue;
+      }
+      if (retry) ++out.failures;  // never admitted after 50 attempts
+      break;
+    }
+  }
+  client.close();
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: serve_loadgen [--host H] [--port N | --socket PATH] "
+               "[--connections K] [--requests N] [--nodes N] [--json PATH] "
+               "[--no-json] [--shutdown]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    const auto num = [&](const char* flag, long long lo, long long hi,
+                         long long* out) {
+      const std::optional<long long> v = parse_integer(next(), lo, hi);
+      if (!v) {
+        std::fprintf(stderr,
+                     "serve_loadgen: %s expects an integer in [%lld, %lld]\n",
+                     flag, lo, hi);
+        return false;
+      }
+      *out = *v;
+      return true;
+    };
+    long long v = 0;
+    if (arg == "--host") cfg.host = next();
+    else if (arg == "--port") {
+      if (!num("--port", 1, 65535, &v)) return 2;
+      cfg.port = static_cast<int>(v);
+    } else if (arg == "--socket") cfg.unix_path = next();
+    else if (arg == "--connections") {
+      if (!num("--connections", 1, 256, &v)) return 2;
+      cfg.connections = static_cast<int>(v);
+    } else if (arg == "--requests") {
+      if (!num("--requests", 1, 1000000, &v)) return 2;
+      cfg.requests = static_cast<int>(v);
+    } else if (arg == "--nodes") {
+      if (!num("--nodes", 1, 1LL << 22, &v)) return 2;
+      cfg.nodes = v;
+    } else if (arg == "--json") cfg.json_path = next();
+    else if (arg == "--no-json") cfg.json_path.clear();
+    else if (arg == "--shutdown") cfg.shutdown_after = true;
+    else return usage();
+  }
+  if (cfg.port == 0 && cfg.unix_path.empty()) {
+    std::fprintf(stderr, "serve_loadgen: --port or --socket is required\n");
+    return 2;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  std::vector<WorkerResult> results(
+      static_cast<std::size_t>(cfg.connections));
+  std::vector<std::thread> workers;
+  const int per = cfg.requests / cfg.connections;
+  const int extra = cfg.requests % cfg.connections;
+  int first = 0;
+  for (int w = 0; w < cfg.connections; ++w) {
+    const int count = per + (w < extra ? 1 : 0);
+    workers.emplace_back(run_worker, std::cref(cfg), w, first, count,
+                         std::ref(results[static_cast<std::size_t>(w)]));
+    first += count;
+  }
+  for (std::thread& t : workers) t.join();
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.rows += r.rows;
+    total.completed += r.completed;
+    total.done_failed += r.done_failed;
+    total.bad_requests += r.bad_requests;
+    total.rejected += r.rejected;
+    total.failures += r.failures;
+    total.latencies_ns.insert(total.latencies_ns.end(),
+                              r.latencies_ns.begin(), r.latencies_ns.end());
+  }
+  std::sort(total.latencies_ns.begin(), total.latencies_ns.end());
+
+  // Post-load health check on a fresh connection: the daemon must still
+  // answer a ping and a stats request after all the poison traffic.
+  {
+    Client probe;
+    if (!connect_client(probe, cfg) ||
+        !probe.send_line("{\"op\": \"ping\", \"id\": \"health\"}\n")) {
+      ++total.failures;
+    } else {
+      const std::optional<std::string> pong = probe.read_line();
+      if (!pong || !has_type(*pong, "pong")) ++total.failures;
+      if (probe.send_line("{\"op\": \"stats\"}\n")) {
+        const std::optional<std::string> stats = probe.read_line();
+        if (!stats || !has_type(*stats, "stats")) ++total.failures;
+      }
+      if (cfg.shutdown_after) {
+        probe.send_line("{\"op\": \"shutdown\"}\n");
+        (void)probe.read_line();  // the shutdown ack
+      }
+    }
+    probe.close();
+  }
+
+  const double wall_s = static_cast<double>(wall_ns) / 1e9;
+  const std::uint64_t answered =
+      total.completed + total.bad_requests;
+  const std::uint64_t p50 = percentile(total.latencies_ns, 0.50);
+  const std::uint64_t p90 = percentile(total.latencies_ns, 0.90);
+  const std::uint64_t p99 = percentile(total.latencies_ns, 0.99);
+  std::printf(
+      "serve_loadgen: %d requests over %d connections in %.2f s\n"
+      "  answered %llu (%llu ok, %llu failed-row, %llu refused-poison), "
+      "%llu rows, %llu rejected-then-retried\n"
+      "  latency p50 %.2f ms, p90 %.2f ms, p99 %.2f ms; "
+      "%.0f requests/s, %.0f rows/s\n"
+      "  failures: %llu\n",
+      cfg.requests, cfg.connections, wall_s,
+      static_cast<unsigned long long>(answered),
+      static_cast<unsigned long long>(total.completed - total.done_failed),
+      static_cast<unsigned long long>(total.done_failed),
+      static_cast<unsigned long long>(total.bad_requests),
+      static_cast<unsigned long long>(total.rows),
+      static_cast<unsigned long long>(total.rejected), p50 / 1e6, p90 / 1e6,
+      p99 / 1e6, static_cast<double>(answered) / wall_s,
+      static_cast<double>(total.rows) / wall_s,
+      static_cast<unsigned long long>(total.failures));
+
+  if (!cfg.json_path.empty()) {
+    std::ofstream out(cfg.json_path);
+    out << "{\n"
+        << "  \"requests\": " << cfg.requests << ",\n"
+        << "  \"connections\": " << cfg.connections << ",\n"
+        << "  \"answered\": " << answered << ",\n"
+        << "  \"completed\": " << total.completed << ",\n"
+        << "  \"done_failed\": " << total.done_failed << ",\n"
+        << "  \"bad_requests\": " << total.bad_requests << ",\n"
+        << "  \"rejected\": " << total.rejected << ",\n"
+        << "  \"rows\": " << total.rows << ",\n"
+        << "  \"failures\": " << total.failures << ",\n"
+        << "  \"wall_ns\": " << wall_ns << ",\n"
+        << "  \"p50_ns\": " << p50 << ",\n"
+        << "  \"p90_ns\": " << p90 << ",\n"
+        << "  \"p99_ns\": " << p99 << ",\n"
+        << "  \"requests_per_sec\": "
+        << static_cast<std::uint64_t>(static_cast<double>(answered) / wall_s)
+        << ",\n"
+        << "  \"rows_per_sec\": "
+        << static_cast<std::uint64_t>(static_cast<double>(total.rows) /
+                                      wall_s)
+        << "\n}\n";
+    std::printf("wrote %s\n", cfg.json_path.c_str());
+  }
+  return total.failures == 0 ? 0 : 1;
+}
