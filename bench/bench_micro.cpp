@@ -6,8 +6,9 @@
 // serialization).
 //
 // Usage: bench_micro [--threads N] [--repeat R] [--sizes a,b,...]
-//                    [--engine-max-exp E] [--shards K] [--json PATH]
-//                    [--no-json]
+//                    [--engine-max-exp E] [--shards K]
+//                    [--substrate inline|sharded|loopback|pinned]
+//                    [--json PATH] [--no-json]
 //
 // --engine-max-exp caps the message-engine size ramp at n = 2^E (default
 // 22; CI passes 16 so the gate stays fast while local runs measure the
@@ -16,6 +17,10 @@
 // through the partitioned substrate and surface its halo traffic
 // (cross_shard_msgs, halo_bytes) next to the single-slab v3 rows, so the
 // barrier overhead is measured against the inline path at every size.
+// --substrate swaps the transport behind those same rows (labels stay
+// engine/v3-sharded/*, so gates compare like against like); the
+// engine/v3-pinned/* rows always run the pinned multi-pool backend at the
+// same shard count, from n = 2^14 up.
 //
 // Wall-clock results are written machine-readably to BENCH_micro.json
 // (pair, n, rounds, wall_ns, threads) so the perf trajectory accumulates
@@ -94,7 +99,8 @@ struct GeometricHalt {
 // body exercises only the path its label names; bodies are self-contained
 // so the pool may run them concurrently.
 std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp,
-                                              int sharded_shards) {
+                                              int sharded_shards,
+                                              SubstrateKind sharded_kind) {
   std::vector<ScenarioTask> tasks;
   // The strict/audit gather hot path through the flat-ball engine: the same
   // radius-2 rule in both accounting modes. The strict rows are what the
@@ -145,11 +151,19 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp,
   const auto engine_rows = [&tasks](const std::shared_ptr<const Graph>& g,
                                     const std::shared_ptr<IdMap>& ids,
                                     const std::string& suffix,
-                                    MessageEngineVersion version,
-                                    int shards) {
-    const std::string tag = version == MessageEngineVersion::kV2
-                                ? "v2"
-                                : (shards > 1 ? "v3-sharded" : "v3");
+                                    MessageEngineVersion version, int shards,
+                                    SubstrateKind substrate) {
+    // Row labels name version + topology, not the transport: the sharded
+    // rows keep their engine/v3-sharded/* labels under --substrate
+    // loopback too, so regression and determinism gates compare the same
+    // label across substrate configurations. The pinned backend gets its
+    // own tag — it is a different executor (fused phases, SIMD step), not
+    // a transport swap.
+    const std::string tag =
+        version == MessageEngineVersion::kV2 ? "v2"
+        : shards <= 1                        ? "v3"
+        : substrate == SubstrateKind::kPinned ? "v3-pinned"
+                                              : "v3-sharded";
     const auto fill = [g](SweepRow& row, const MessageEngineStats& es,
                           int rounds) {
       row.nodes = g->num_nodes();
@@ -158,9 +172,10 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp,
       es.surface(row.stats);
     };
     tasks.push_back({"engine/" + tag + "/geometric-halt" + suffix,
-                     [g, version, shards, fill](SweepRow& row) {
+                     [g, version, shards, substrate, fill](SweepRow& row) {
                        ScopedEngineVersion scope(version);
                        ScopedEngineShards shard_scope(shards);
+                       ScopedSubstrate substrate_scope(substrate);
                        GeometricHalt alg(g->num_nodes());
                        MessageEngineStats es;
                        const int rounds = run_message_rounds(
@@ -168,17 +183,19 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp,
                        fill(row, es, rounds);
                      }});
     tasks.push_back({"engine/" + tag + "/luby" + suffix,
-                     [g, ids, version, shards, fill](SweepRow& row) {
+                     [g, ids, version, shards, substrate, fill](SweepRow& row) {
                        ScopedEngineVersion scope(version);
                        ScopedEngineShards shard_scope(shards);
+                       ScopedSubstrate substrate_scope(substrate);
                        MessageEngineStats es;
                        const auto res = luby_mis(*g, *ids, 7, &es);
                        fill(row, es, res.rounds);
                      }});
     tasks.push_back({"engine/" + tag + "/matching" + suffix,
-                     [g, ids, version, shards, fill](SweepRow& row) {
+                     [g, ids, version, shards, substrate, fill](SweepRow& row) {
                        ScopedEngineVersion scope(version);
                        ScopedEngineShards shard_scope(shards);
+                       ScopedSubstrate substrate_scope(substrate);
                        MessageEngineStats es;
                        const auto res = randomized_matching(*g, *ids, 7, &es);
                        fill(row, es, res.rounds);
@@ -191,10 +208,20 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp,
       const auto ids = std::make_shared<IdMap>(shuffled_ids(*g, 5));
       const std::string suffix =
           "/" + std::string(family) + "/n=" + std::to_string(n);
-      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, 1);
-      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, sharded_shards);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, 1, sharded_kind);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, sharded_shards,
+                  sharded_kind);
+      // The pinned backend's ramp starts where shard-sized working sets
+      // leave cache (2^14) and runs to the top; same shard count as the
+      // v3-sharded rows, so the v3-pinned/v3-sharded pair at equal n
+      // isolates fused phases + SIMD + pinning against pool-joined phases.
+      if (exp >= 14) {
+        engine_rows(g, ids, suffix, MessageEngineVersion::kV3, sharded_shards,
+                    SubstrateKind::kPinned);
+      }
       if (exp == 14 || exp == 18 || exp == 22)
-        engine_rows(g, ids, suffix, MessageEngineVersion::kV2, 1);
+        engine_rows(g, ids, suffix, MessageEngineVersion::kV2, 1,
+                    sharded_kind);
       if (exp == 14) {
         tasks.push_back({"engine/v1/geometric-halt" + suffix,
                          [g](SweepRow& row) {
@@ -233,9 +260,12 @@ std::vector<ScenarioTask> substrate_scenarios(int engine_max_exp,
       const auto ids = std::make_shared<IdMap>(shuffled_ids(*g, 5));
       const std::string suffix =
           "/p2p-sample/n=" + std::to_string(g->num_nodes());
-      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, 1);
-      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, sharded_shards);
-      engine_rows(g, ids, suffix, MessageEngineVersion::kV2, 1);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, 1, sharded_kind);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, sharded_shards,
+                  sharded_kind);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV3, sharded_shards,
+                  SubstrateKind::kPinned);
+      engine_rows(g, ids, suffix, MessageEngineVersion::kV2, 1, sharded_kind);
     }
   }
   for (const std::size_t n : {std::size_t{1} << 10, std::size_t{1} << 14}) {
@@ -411,6 +441,7 @@ int main(int argc, char** argv) {
   int repeat = 3;
   int engine_max_exp = 22;
   int sharded_shards = 4;
+  SubstrateKind sharded_kind = SubstrateKind::kSharded;
   std::vector<std::size_t> sizes{std::size_t{1} << 10};
   std::string json_path = "BENCH_micro.json";
   for (int i = 1; i < argc; ++i) {
@@ -431,6 +462,20 @@ int main(int argc, char** argv) {
     else if (arg == "--shards") {
       if (!parse_int_opt("--shards", next(), 1, 65535, &sharded_shards))
         return 2;
+    }
+    else if (arg == "--substrate") {
+      // Strict like every other knob: an unknown name is a usage error,
+      // never a silent fall-through to the default backend.
+      const char* name = next();
+      const std::optional<SubstrateKind> kind = substrate_from_name(name);
+      if (!kind) {
+        std::fprintf(stderr,
+                     "bench_micro: --substrate expects "
+                     "inline|sharded|loopback|pinned, got '%s'\n",
+                     name);
+        return 2;
+      }
+      sharded_kind = *kind;
     }
     else if (arg == "--json") json_path = next();
     else if (arg == "--no-json") json_path.clear();
@@ -453,6 +498,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_micro [--threads N] [--repeat R] "
                    "[--sizes a,b,...] [--engine-max-exp E] [--shards K] "
+                   "[--substrate inline|sharded|loopback|pinned] "
                    "[--json PATH] [--no-json]\n");
       return 2;
     }
@@ -485,7 +531,8 @@ int main(int argc, char** argv) {
   const SweepOutcome baseline = run_batch(small);
 
   const SweepOutcome substrate = run_scenarios(
-      substrate_scenarios(engine_max_exp, sharded_shards), repeat);
+      substrate_scenarios(engine_max_exp, sharded_shards, sharded_kind),
+      repeat);
 
   print_rows("registry pairs (solve + verify, run_batch)", runners);
   print_rows("linear baselines", baseline);

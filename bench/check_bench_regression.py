@@ -136,6 +136,17 @@ def self_test():
     _, regs = find_regressions(cur, base, 0.25, 1_000_000)
     check("added-columns-ignored", regs == [])
 
+    # The pinned-substrate columns: a top-level "substrate" key on the
+    # sweep object and the pinned gauges in a row's stats are ignored the
+    # same way — gating never requires a baseline refresh for them.
+    doc = _doc([_row("p", 10_000_000,
+                     stats={"pinned_teams": 4, "barrier_ns": 12_345,
+                            "numa_local_bytes": 1 << 20}),
+                _row("q", 10_000_000)])
+    doc["substrate"] = "pinned"
+    _, regs = find_regressions(index_rows(doc, "cur"), base, 0.25, 1_000_000)
+    check("substrate-columns-ignored", regs == [])
+
     # Rows below the noise floor never gate.
     tiny_base = index_rows(_doc([_row("p", 500), _row("q", 10_000_000)]),
                            "base")
@@ -168,7 +179,7 @@ def self_test():
         print(f"bench-gate: SELF-TEST FAILED: {', '.join(failures)}",
               file=sys.stderr)
         return 1
-    print("bench-gate: self-test passed (9 checks)")
+    print("bench-gate: self-test passed (10 checks)")
     return 0
 
 

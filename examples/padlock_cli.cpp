@@ -6,17 +6,20 @@
 //   padlock_cli run <problem> <algo> --graph <family> [--nodes N]
 //                  [--degree D] [--seed S] [--ids <strategy>] [--no-check]
 //                  [--threads T] [--repeat R] [--shards K] [--engine v3|v2]
+//                  [--substrate inline|sharded|loopback|pinned]
 //       families:   build::family_names() — path cycle tree torus regular
 //                   multigraph high-girth bounded (+ cubic, cubic-simple)
 //       strategies: sequential shuffled sparse adversarial
 //       --shards K runs the round engine over K partitioned shards with
 //       halo exchange at round barriers (bit-identical to K=1; see
 //       docs/API.md "Execution substrate"); --engine selects the round
-//       executor (v3 default, v2 = the kept oracle)
+//       executor (v3 default, v2 = the kept oracle); --substrate picks the
+//       halo-exchange backend (sharded default; pinned = affinity-pinned
+//       worker teams with fused phases, docs/API.md "Pinned substrate")
 //   padlock_cli sweep    [--pairs p/a,p/a|all] [--family f1,f2] [--sizes
 //                  a,b,c] [--degree D] [--seed S] [--repeat R] [--threads T]
-//                  [--shards K] [--engine v3|v2] [--no-check] [--no-cache]
-//                  [--json]
+//                  [--shards K] [--engine v3|v2] [--substrate <name>]
+//                  [--no-check] [--no-cache] [--json]
 //       the batched execution plan: pairs × families × sizes through the
 //       thread pool (core/runner.hpp run_batch). The graph menu resolves
 //       through the sweep-wide GraphCache unless --no-cache builds every
@@ -184,7 +187,7 @@ int cmd_list(const Args& a) {
 // Shared validation of the engine knobs (`run` applies them to the process
 // context; `sweep` passes them through the plan, which re-validates).
 bool parse_engine_knobs(const Args& a, const char* cmd, std::string* engine,
-                        int* shards) {
+                        int* shards, std::string* substrate) {
   *engine = a.str("engine", "");
   if (!engine->empty() && *engine != "v3" && *engine != "v2") {
     std::fprintf(stderr, "padlock_cli %s: --engine expects v3|v2, got '%s'\n",
@@ -199,6 +202,14 @@ bool parse_engine_knobs(const Args& a, const char* cmd, std::string* engine,
                  cmd, a.str("shards", "").c_str());
     return false;
   }
+  *substrate = a.str("substrate", "");
+  if (!substrate->empty() && !substrate_from_name(*substrate)) {
+    std::fprintf(stderr,
+                 "padlock_cli %s: --substrate expects "
+                 "inline|sharded|loopback|pinned, got '%s'\n",
+                 cmd, substrate->c_str());
+    return false;
+  }
   return true;
 }
 
@@ -210,9 +221,11 @@ int cmd_run(const std::string& problem, const std::string& algo,
   exec_context().threads = static_cast<int>(a.num("threads", 1, 0, 65536));
   std::string engine;
   int shards = 0;
-  if (!parse_engine_knobs(a, "run", &engine, &shards)) return 2;
+  std::string substrate;
+  if (!parse_engine_knobs(a, "run", &engine, &shards, &substrate)) return 2;
   if (shards >= 1) exec_context().shards = shards;
   if (engine == "v2") message_engine_version() = MessageEngineVersion::kV2;
+  if (!substrate.empty()) engine_substrate() = *substrate_from_name(substrate);
   RunOptions opts;
   opts.seed = static_cast<std::uint64_t>(a.num("seed", 1, 0, (1LL << 62)));
   opts.ids = id_strategy_from_name(a.str("ids", "shuffled"));
@@ -240,8 +253,9 @@ int cmd_run(const std::string& problem, const std::string& algo,
               problem.c_str(), algo.c_str(),
               a.str("graph", "cubic-simple").c_str(), g.num_nodes(),
               g.num_edges(), g.max_degree());
-  std::printf("engine: %s, shards: %d\n", engine.empty() ? "v3" : engine.c_str(),
-              engine_effective_shards());
+  std::printf("engine: %s, shards: %d, substrate: %s\n",
+              engine.empty() ? "v3" : engine.c_str(),
+              engine_effective_shards(), substrate_name(engine_substrate()));
   std::printf("rounds: %d\n", outcome.rounds.rounds);
   if (repeat > 1) {
     std::printf("wall:   min %.1f us, median %.1f us over %d runs "
@@ -305,7 +319,10 @@ int cmd_sweep(const Args& a) {
   plan.repeat = static_cast<int>(a.num("repeat", 1, 1, 1000000));
   plan.threads = static_cast<int>(a.num("threads", 0, 0, 65536));
   plan.use_cache = !a.flag("no-cache");
-  if (!parse_engine_knobs(a, "sweep", &plan.engine, &plan.shards)) return 2;
+  if (!parse_engine_knobs(a, "sweep", &plan.engine, &plan.shards,
+                          &plan.substrate)) {
+    return 2;
+  }
 
   const SweepOutcome outcome = run_batch(plan);
   if (a.flag("json")) {

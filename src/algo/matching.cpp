@@ -28,8 +28,11 @@ namespace {
 // through an atomic fetch_or (ORs of per-node-disjoint masks commute —
 // bit-identical for any thread count). Only step(v) kills v's ports, so
 // the returned previous bit is exact and the live counter stays a plain
-// per-node write. is_live() is only called from phases in which no one
-// writes (send) or on the caller's own bits, so the plain read is safe.
+// per-node write. is_live() reads through a relaxed-atomic load: its own
+// bits are stable (only v's step writes them), but the pinned backend's
+// fused schedule lets one worker's send overlap another's step on a
+// shared word, so the read must be atomic for the memory model (free on
+// x86; the loaded value of the caller's bits is unaffected either way).
 struct PortLiveness {
   std::vector<std::size_t> offset;  // CSR: ports of v at [offset[v], ...)
   WordBitset dead;
@@ -59,7 +62,7 @@ struct PortLiveness {
   }
 
   [[nodiscard]] bool is_live(NodeId v, int port) const {
-    return !dead.test(offset[v] + static_cast<std::size_t>(port));
+    return !dead.test_atomic(offset[v] + static_cast<std::size_t>(port));
   }
 };
 

@@ -170,6 +170,16 @@ std::string_view engine_name(MessageEngineVersion v) {
   return v == MessageEngineVersion::kV2 ? "v2" : "v3";
 }
 
+SubstrateKind resolve_substrate(const std::string& name) {
+  if (name.empty()) return engine_substrate();
+  const std::optional<SubstrateKind> kind = substrate_from_name(name);
+  if (!kind) {
+    throw RegistryError("unknown substrate '" + name +
+                        "'; expected inline|sharded|loopback|pinned");
+  }
+  return *kind;
+}
+
 }  // namespace
 
 WallStats wall_stats(std::vector<std::uint64_t> samples_ns) {
@@ -310,12 +320,14 @@ SweepOutcome run_batch(const ExecutionPlan& plan) {
 
   ThreadsGuard guard(plan.threads);
   const MessageEngineVersion engine = resolve_engine(plan.engine);
+  const SubstrateKind substrate = resolve_substrate(plan.substrate);
   const int shards =
       plan.shards >= 1 ? plan.shards : engine_effective_shards();
   SweepOutcome outcome;
   outcome.threads = resolved_threads();
   outcome.engine = engine_name(engine);
   outcome.shards = shards;
+  outcome.substrate = substrate_name(substrate);
   const auto batch_t0 = Clock::now();
 
   // Resolve the instance menu once; every pair shares the same immutable
@@ -394,6 +406,7 @@ SweepOutcome run_batch(const ExecutionPlan& plan) {
         // chunk, and thread_local defaults there would ignore the plan.
         const ScopedEngineVersion engine_pin(engine);
         const ScopedEngineShards shards_pin(shards);
+        const ScopedSubstrate substrate_pin(substrate);
         for (std::size_t i = b; i < e; ++i) {
           const ResolvedPair& pair = pairs[i / graphs.size()];
           const std::size_t gi = i % graphs.size();
@@ -504,6 +517,7 @@ SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
   outcome.threads = resolved_threads();
   outcome.engine = engine_name(message_engine_version());
   outcome.shards = engine_effective_shards();
+  outcome.substrate = substrate_name(engine_substrate());
   const auto batch_t0 = Clock::now();
 
   outcome.rows.resize(scenarios.size());
@@ -633,7 +647,8 @@ std::string to_json(const SweepOutcome& outcome) {
   out << "{\"threads\": " << outcome.threads
       << ", \"engine\": \"" << json_escape(outcome.engine)
       << "\", \"shards\": " << outcome.shards
-      << ", \"wall_ns\": " << outcome.wall_ns
+      << ", \"substrate\": \"" << json_escape(outcome.substrate)
+      << "\", \"wall_ns\": " << outcome.wall_ns
       << ", \"cache\": " << (outcome.cached ? "true" : "false")
       << ", \"cache_hits\": " << outcome.cache_hits
       << ", \"cache_misses\": " << outcome.cache_misses << ", \"rows\": [";

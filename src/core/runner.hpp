@@ -116,6 +116,13 @@ struct ExecutionPlan {
   /// per row like `shards`. Any other value is a malformed plan
   /// (run_batch throws RegistryError).
   std::string engine;
+  /// Halo-exchange substrate for every row (engine_substrate.hpp): "" keeps
+  /// the dispatching thread's substrate (normally sharded);
+  /// "inline"/"sharded"/"loopback"/"pinned" force one. Propagated per row
+  /// like `engine`; any other value throws RegistryError. Rows are
+  /// bit-identical for every substrate — this picks the transport, not the
+  /// result.
+  std::string substrate;
   /// Resolve the graph menu through the process-wide GraphCache
   /// (core/graph_cache.hpp): identical specs — within this plan or across
   /// earlier batches — share one immutable instance. false (`padlock_cli
@@ -196,6 +203,7 @@ struct SweepOutcome {
   /// bodies that pin their own knobs say so in their row labels).
   std::string engine = "v3";
   int shards = 1;
+  std::string substrate = "sharded";
   std::uint64_t wall_ns = 0;    // whole-batch wall clock
   /// Graph-cache accounting of this batch's menu resolution: a hit is a
   /// menu entry served without building (already cached, or a duplicate
@@ -258,9 +266,9 @@ SweepOutcome run_scenarios(const std::vector<ScenarioTask>& scenarios,
 /// sweep format written by `padlock_cli sweep --json` and bench_micro's
 /// BENCH_micro.json:
 ///
-///   {"threads": T, "engine": "v3", "shards": S, "wall_ns": W,
-///    "cache": true|false, "cache_hits": H, "cache_misses": M,
-///    "rows": [...]}
+///   {"threads": T, "engine": "v3", "shards": S, "substrate": "sharded",
+///    "wall_ns": W, "cache": true|false, "cache_hits": H,
+///    "cache_misses": M, "rows": [...]}
 ///
 /// Every row is emitted (skipped rows included, with "skipped": true), one
 /// object per row: problem, algo, family, nodes, edges, rounds, status, ok,

@@ -28,6 +28,11 @@
 //    would post — and parsed back at delivery. Single-process, but every
 //    cross-shard byte travels the wire format end to end, proving the
 //    partitioned protocol for a future distributed backend.
+//  * Pinned — the multi-pool NUMA backend (local/engine_pinned.hpp):
+//    persistent affinity-pinned worker teams (support/shard_pool.hpp) own
+//    their shards for the whole run, first-touch the shard state, fuse the
+//    per-shard phases, and synchronize on a single sense-reversing barrier
+//    per round instead of one pool join per phase.
 //
 // Determinism (the headline invariant, pinned by tests/substrate_test.cpp
 // for the whole registry): a message crosses the cut with the exact packed
@@ -40,6 +45,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "support/check.hpp"
@@ -49,7 +56,31 @@ namespace padlock {
 
 /// Which backend carries the halo exchange when shards > 1. kInline
 /// ignores the shard count and runs the single-slab v3 path.
-enum class SubstrateKind { kInline, kSharded, kLoopback };
+enum class SubstrateKind { kInline, kSharded, kLoopback, kPinned };
+
+/// Canonical CLI/JSON name of a substrate ("inline" / "sharded" /
+/// "loopback" / "pinned") — the vocabulary of `--substrate` and the serve
+/// protocol's "substrate" key.
+[[nodiscard]] inline const char* substrate_name(SubstrateKind k) {
+  switch (k) {
+    case SubstrateKind::kInline: return "inline";
+    case SubstrateKind::kLoopback: return "loopback";
+    case SubstrateKind::kPinned: return "pinned";
+    case SubstrateKind::kSharded: break;
+  }
+  return "sharded";
+}
+
+/// Inverse of substrate_name; nullopt for anything else (callers turn that
+/// into their own usage/dispatch error).
+[[nodiscard]] inline std::optional<SubstrateKind> substrate_from_name(
+    std::string_view name) {
+  if (name == "inline") return SubstrateKind::kInline;
+  if (name == "sharded") return SubstrateKind::kSharded;
+  if (name == "loopback") return SubstrateKind::kLoopback;
+  if (name == "pinned") return SubstrateKind::kPinned;
+  return std::nullopt;
+}
 
 /// Thread-local for the same reason as message_engine_version(): bench and
 /// test bodies run concurrently on the pool, and one body pinning loopback

@@ -291,6 +291,15 @@ inline constexpr std::size_t kEngineWordGrain = 16;
 
 }  // namespace detail
 
+}  // namespace padlock
+
+// The pinned multi-pool backend reads the MessageTraits / kUniformSend /
+// PackedInbox seam defined above, so it is included here rather than
+// before the namespace (see its file comment).
+#include "local/engine_pinned.hpp"  // IWYU pragma: export
+
+namespace padlock {
+
 /// The v3 executor (see the file comment for the precise lifecycle).
 /// `max_rounds` is the contract budget — exceeding it throws
 /// ContractViolation. Returns the number of rounds executed. Serial and
@@ -493,6 +502,7 @@ int run_message_rounds_v3(const Graph& g, Alg& alg, std::int64_t max_rounds,
     busy_words = next_busy.load(std::memory_order_relaxed);
   }
 
+  accumulate_engine_gauges(local);
   if (stats != nullptr) *stats = local;
   return static_cast<int>(round64);
 }
@@ -783,6 +793,7 @@ int run_message_rounds_partitioned(const Graph& g, Alg& alg,
 
   local.cross_shard_msgs = sub.messages();
   local.halo_bytes = sub.bytes();
+  accumulate_engine_gauges(local);
   if (stats != nullptr) *stats = local;
   return static_cast<int>(round64);
 }
@@ -791,12 +802,13 @@ int run_message_rounds_partitioned(const Graph& g, Alg& alg,
 /// executor every round-based algorithm calls. Dispatch order: the kept v2
 /// oracle when message_engine_version() pins it; the partitioned executor
 /// when engine_effective_shards() > 1 and the substrate knob is not
-/// kInline (backend per engine_substrate(): in-process sharded or the
-/// loopback message-passing skeleton); otherwise — and always at shards=1
-/// — the single-slab v3 path, byte for byte the PR 7 engine. All routes
-/// satisfy the same contract with bit-identical outputs and round counts
-/// (pinned by tests/message_engine_test.cpp and tests/substrate_test.cpp
-/// for every registered pair).
+/// kInline (backend per engine_substrate(): in-process sharded, the
+/// loopback message-passing skeleton, or the pinned worker-team backend —
+/// local/engine_pinned.hpp); otherwise — and always at shards=1 — the
+/// single-slab v3 path, byte for byte the PR 7 engine. All routes satisfy
+/// the same contract with bit-identical outputs and round counts (pinned
+/// by tests/message_engine_test.cpp, tests/substrate_test.cpp and
+/// tests/shard_pool_test.cpp for every registered pair).
 template <typename Alg>
 int run_message_rounds(const Graph& g, Alg& alg, std::int64_t max_rounds,
                        MessageEngineStats* stats = nullptr) {
@@ -808,6 +820,9 @@ int run_message_rounds(const Graph& g, Alg& alg, std::int64_t max_rounds,
     const std::shared_ptr<const Partition> part = g.partition(shards);
     if (part->num_shards() > 1) {
       using Packed = typename MessageTraits<Alg>::Packed;
+      if (engine_substrate() == SubstrateKind::kPinned) {
+        return run_message_rounds_pinned(g, alg, max_rounds, stats, *part);
+      }
       if (engine_substrate() == SubstrateKind::kLoopback) {
         LoopbackSubstrate<Packed> sub(part->num_shards());
         return run_message_rounds_partitioned(g, alg, max_rounds, stats,

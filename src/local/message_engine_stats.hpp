@@ -2,6 +2,7 @@
 // (v1 oracle, v2 oracle, v3 — see local/message_engine.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace padlock {
@@ -37,6 +38,22 @@ struct MessageEngineStats {
   std::int64_t cross_shard_msgs = 0;
   std::int64_t halo_bytes = 0;
 
+  // Pinned-backend accounting (local/engine_pinned.hpp; zero on every
+  // other route). pinned_teams = workers that ran affinity-pinned to their
+  // own CPU (0 = unpinned fallback or the one-worker inline team).
+  // barrier_ns = cumulative wall time workers spent waiting at the round
+  // barrier, summed across workers — the coordination overhead the fused
+  // schedule is buying down. numa_local_bytes = shard state (slab +
+  // presence words) first-touched by a *pinned* owner, i.e. the bytes with
+  // a placement guarantee; 0 when the team ran unpinned. simd_batches =
+  // word-batched step gathers executed by the vectorized kernel (stays 0
+  // without __AVX2__, when engine_simd() is off, or when the frontier was
+  // too sparse to batch).
+  std::int64_t pinned_teams = 0;
+  std::int64_t barrier_ns = 0;
+  std::int64_t numa_local_bytes = 0;
+  std::int64_t simd_batches = 0;
+
   /// Surfaces the engine gauges onto an algorithm's Stats counters — the
   /// one idiom every engine-backed registration uses, so sweep JSON rows
   /// self-describe their execution (templated to keep this header free of
@@ -48,7 +65,44 @@ struct MessageEngineStats {
     out.set("engine_shards", shards);
     out.set("cross_shard_msgs", cross_shard_msgs);
     out.set("halo_bytes", halo_bytes);
+    out.set("pinned_teams", pinned_teams);
+    out.set("barrier_ns", barrier_ns);
+    out.set("numa_local_bytes", numa_local_bytes);
   }
 };
+
+/// Process-wide, monotone engine gauge totals — the observability feed of
+/// the `serve` stats op: a resident daemon accumulates every engine run's
+/// substrate traffic here (relaxed atomics; runs on pool workers fold in
+/// concurrently), so hot-path behavior is visible without restarting the
+/// process. engine_shards / pinned_teams are "most recent run" gauges, the
+/// rest are cumulative counters.
+struct EngineGaugeTotals {
+  std::atomic<std::int64_t> engine_runs{0};
+  std::atomic<std::int64_t> engine_shards{1};    // last run
+  std::atomic<std::int64_t> cross_shard_msgs{0};
+  std::atomic<std::int64_t> halo_bytes{0};
+  std::atomic<std::int64_t> pinned_teams{0};     // last run
+  std::atomic<std::int64_t> barrier_ns{0};
+  std::atomic<std::int64_t> numa_local_bytes{0};
+};
+
+inline EngineGaugeTotals& engine_gauge_totals() {
+  static EngineGaugeTotals t;
+  return t;
+}
+
+/// Folds one finished run into the process totals (called by every v3-family
+/// executor route on completion).
+inline void accumulate_engine_gauges(const MessageEngineStats& s) {
+  EngineGaugeTotals& t = engine_gauge_totals();
+  t.engine_runs.fetch_add(1, std::memory_order_relaxed);
+  t.engine_shards.store(s.shards, std::memory_order_relaxed);
+  t.cross_shard_msgs.fetch_add(s.cross_shard_msgs, std::memory_order_relaxed);
+  t.halo_bytes.fetch_add(s.halo_bytes, std::memory_order_relaxed);
+  t.pinned_teams.store(s.pinned_teams, std::memory_order_relaxed);
+  t.barrier_ns.fetch_add(s.barrier_ns, std::memory_order_relaxed);
+  t.numa_local_bytes.fetch_add(s.numa_local_bytes, std::memory_order_relaxed);
+}
 
 }  // namespace padlock

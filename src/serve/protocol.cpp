@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "local/engine_substrate.hpp"
 #include "serve/json.hpp"
 
 namespace padlock::serve {
@@ -96,6 +97,17 @@ bool apply_common_knob(const std::string& key, const JsonValue& v,
     plan.engine = engine;
     return true;
   }
+  if (key == "substrate") {
+    const std::string& substrate = require_string(v, key);
+    if (!substrate_from_name(substrate)) {
+      refuse(
+          "\"substrate\" expects \"inline\", \"sharded\", \"loopback\" or "
+          "\"pinned\", got '" +
+          substrate + "'");
+    }
+    plan.substrate = substrate;
+    return true;
+  }
   if (key == "ids") {
     try {
       plan.options.ids = id_strategy_from_name(require_string(v, key));
@@ -121,8 +133,9 @@ bool apply_common_knob(const std::string& key, const JsonValue& v,
 void parse_run(const JsonValue& root, Request& req,
                const RequestLimits& limits) {
   static constexpr const char* kKeys[] = {
-      "op",   "id",     "problem", "algo",  "family", "nodes",  "degree",
-      "seed", "repeat", "shards",  "engine", "ids",   "check",  "cache"};
+      "op",     "id",     "problem", "algo",      "family", "nodes", "degree",
+      "seed",   "repeat", "shards",  "engine",    "ids",    "check", "cache",
+      "substrate"};
   std::string problem, algo;
   GraphSpec spec;
   for (const auto& [key, value] : root.members) {
@@ -150,7 +163,8 @@ void parse_sweep(const JsonValue& root, Request& req,
                  const RequestLimits& limits) {
   static constexpr const char* kKeys[] = {
       "op",     "id",     "pairs",  "families", "sizes", "degree", "seed",
-      "repeat", "shards", "engine", "ids",      "check", "cache"};
+      "repeat", "shards", "engine", "ids",      "check", "cache",
+      "substrate"};
   std::vector<std::string> families{"regular"};
   std::vector<std::size_t> sizes{256};
   for (const auto& [key, value] : root.members) {
@@ -307,7 +321,14 @@ std::string stats_line(const Request& req, const ServeStats& stats) {
       << ", \"oversized\": " << stats.oversized
       << ", \"completed\": " << stats.completed
       << ", \"rows_streamed\": " << stats.rows_streamed
-      << ", \"outstanding\": " << stats.outstanding << "}\n";
+      << ", \"outstanding\": " << stats.outstanding
+      << ", \"engine_runs\": " << stats.engine_runs
+      << ", \"engine_shards\": " << stats.engine_shards
+      << ", \"cross_shard_msgs\": " << stats.cross_shard_msgs
+      << ", \"halo_bytes\": " << stats.halo_bytes
+      << ", \"pinned_teams\": " << stats.pinned_teams
+      << ", \"barrier_ns\": " << stats.barrier_ns
+      << ", \"numa_local_bytes\": " << stats.numa_local_bytes << "}\n";
   return out.str();
 }
 
@@ -333,6 +354,7 @@ std::string done_line(const std::string& id, const SweepOutcome& outcome) {
       << ", \"rows\": " << outcome.rows.size() << ", \"failed\": " << failed
       << ", \"threads\": " << outcome.threads << ", \"engine\": "
       << json_quote(outcome.engine) << ", \"shards\": " << outcome.shards
+      << ", \"substrate\": " << json_quote(outcome.substrate)
       << ", \"wall_ns\": " << outcome.wall_ns << "}\n";
   return out.str();
 }

@@ -1,0 +1,209 @@
+#include "support/shard_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace padlock {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+inline void cpu_pause() { __builtin_ia32_pause(); }
+#else
+inline void cpu_pause() { std::this_thread::yield(); }
+#endif
+
+// Spin budget of a barrier waiter before falling back to an atomic wait.
+// Pinned workers on dedicated CPUs are released within a few hundred
+// cycles in the steady state; oversubscribed teams skip the spin entirely
+// (the release needs the OS to schedule the releasing worker first).
+constexpr int kBarrierSpins = 4096;
+
+}  // namespace
+
+CpuTopology cpu_topology() {
+  CpuTopology t;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &set)) t.cpus.push_back(c);
+    }
+  }
+#endif
+  if (!t.cpus.empty()) {
+    t.online = static_cast<int>(t.cpus.size());
+    return t;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  t.online = hw > 0 ? static_cast<int>(hw) : 1;
+  return t;
+}
+
+struct ShardTeam::Impl {
+  std::vector<std::thread> threads;
+  std::vector<char> pinned_flags;  // per worker; char to stay race-free
+  int pinned = 0;
+  bool oversubscribed = false;
+
+  // run() dispatch: a generation handshake. job_gen advances to publish a
+  // new body; each worker reports completion by decrementing done_pending,
+  // the last one stamps done_gen with the generation it just ran.
+  std::mutex run_mu;  // serializes run() callers
+  std::function<void(int)> job;
+  std::atomic<std::uint32_t> job_gen{0};
+  std::atomic<int> done_pending{0};
+  std::atomic<std::uint32_t> done_gen{0};
+  std::atomic<bool> stop{false};
+
+  // Barrier state: a monotone phase counter (sense-reversal without the
+  // per-thread sense bit — a worker's current phase is always the global
+  // one, since advancing requires its own arrival).
+  std::atomic<int> arrived{0};
+  std::atomic<std::uint32_t> phase{0};
+
+  // Backstop for exceptions escaping a body (see header contract).
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+};
+
+ShardTeam::ShardTeam(int workers) : impl_(std::make_unique<Impl>()) {
+  if (workers < 1) workers = 1;
+  const CpuTopology topo = cpu_topology();
+  impl_->oversubscribed = workers > topo.online;
+  impl_->pinned_flags.assign(static_cast<std::size_t>(workers), 0);
+  impl_->threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    impl_->threads.emplace_back([this, w] { worker_loop(w); });
+  }
+#if defined(__linux__)
+  // Pin only when every worker can own a distinct allowed CPU; a partial
+  // pinning (two workers sharing one core while others roam) is worse than
+  // none. Pinning before the first run() means first-touch pages land on
+  // the pinned CPU's node.
+  if (!topo.cpus.empty() && workers <= static_cast<int>(topo.cpus.size())) {
+    for (int w = 0; w < workers; ++w) {
+      cpu_set_t one;
+      CPU_ZERO(&one);
+      CPU_SET(topo.cpus[static_cast<std::size_t>(w)], &one);
+      if (pthread_setaffinity_np(
+              impl_->threads[static_cast<std::size_t>(w)].native_handle(),
+              sizeof(one), &one) == 0) {
+        impl_->pinned_flags[static_cast<std::size_t>(w)] = 1;
+        ++impl_->pinned;
+      }
+    }
+  }
+#endif
+}
+
+ShardTeam::~ShardTeam() {
+  impl_->stop.store(true, std::memory_order_release);
+  impl_->job_gen.fetch_add(1, std::memory_order_acq_rel);
+  impl_->job_gen.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+int ShardTeam::workers() const {
+  return static_cast<int>(impl_->threads.size());
+}
+
+int ShardTeam::pinned() const { return impl_->pinned; }
+
+bool ShardTeam::worker_pinned(int w) const {
+  if (w < 0 || w >= workers()) return false;
+  return impl_->pinned_flags[static_cast<std::size_t>(w)] != 0;
+}
+
+void ShardTeam::worker_loop(int w) {
+  Impl& im = *impl_;
+  std::uint32_t seen = 0;
+  for (;;) {
+    while (im.job_gen.load(std::memory_order_acquire) == seen) {
+      im.job_gen.wait(seen, std::memory_order_acquire);
+    }
+    if (im.stop.load(std::memory_order_acquire)) return;
+    seen = im.job_gen.load(std::memory_order_acquire);
+    try {
+      im.job(w);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(im.err_mu);
+      if (!im.first_error) im.first_error = std::current_exception();
+    }
+    if (im.done_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      im.done_gen.store(seen, std::memory_order_release);
+      im.done_gen.notify_all();
+    }
+  }
+}
+
+void ShardTeam::run(const std::function<void(int)>& body) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> run_lock(im.run_mu);
+  {
+    std::lock_guard<std::mutex> lock(im.err_mu);
+    im.first_error = nullptr;
+  }
+  im.job = body;
+  im.done_pending.store(workers(), std::memory_order_relaxed);
+  const std::uint32_t gen = im.job_gen.fetch_add(1, std::memory_order_acq_rel)
+                            + 1;
+  im.job_gen.notify_all();
+  for (;;) {
+    const std::uint32_t done = im.done_gen.load(std::memory_order_acquire);
+    if (done == gen) break;
+    im.done_gen.wait(done, std::memory_order_acquire);
+  }
+  im.job = nullptr;
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(im.err_mu);
+    err = im.first_error;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ShardTeam::barrier(const std::function<void()>& fold) {
+  Impl& im = *impl_;
+  const std::uint32_t my = im.phase.load(std::memory_order_relaxed);
+  if (im.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == workers()) {
+    if (fold) fold();
+    im.arrived.store(0, std::memory_order_relaxed);
+    im.phase.store(my + 1, std::memory_order_release);
+    im.phase.notify_all();
+    return;
+  }
+  int spins = im.oversubscribed ? 0 : kBarrierSpins;
+  while (im.phase.load(std::memory_order_acquire) == my) {
+    if (spins > 0) {
+      --spins;
+      cpu_pause();
+      continue;
+    }
+    im.phase.wait(my, std::memory_order_acquire);
+  }
+}
+
+std::shared_ptr<ShardTeam> shard_team_for(int workers) {
+  static std::mutex mu;
+  static std::vector<std::shared_ptr<ShardTeam>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  for (const std::shared_ptr<ShardTeam>& t : cache) {
+    if (t->workers() == workers) return t;
+  }
+  auto team = std::make_shared<ShardTeam>(workers);
+  cache.push_back(team);
+  if (cache.size() > 4) cache.erase(cache.begin());
+  return team;
+}
+
+}  // namespace padlock

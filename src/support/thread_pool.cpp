@@ -205,32 +205,58 @@ std::vector<ThreadPool::ChunkFault> ThreadPool::for_range_capture(
   return faults;
 }
 
-ThreadPool& global_pool() {
-  static std::mutex mu;
-  static std::unique_ptr<ThreadPool> pool;
-  static int pool_threads = -1;
-  std::lock_guard<std::mutex> lock(mu);
+namespace {
+
+// The process pool, shared-ptr-owned so every dispatch pins the pool it
+// runs on: acquire_pool() hands out a reference-counted handle, and the
+// resize path refuses while any handle beyond the cache's own is alive.
+// That closes the lazy-resize hazard: a resident daemon's executor thread
+// mutating exec_context().threads while another thread is mid-for_range
+// used to rebuild (and destroy) the pool under the running dispatch —
+// now the resize is a safe no-op until the pool is quiescent, and the
+// next acquire applies it. Pinned by ThreadPoolTest.
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;       // guarded by g_pool_mu
+int g_pool_threads = -1;                  // guarded by g_pool_mu
+
+std::shared_ptr<ThreadPool> acquire_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
   const int want = resolved_threads();
-  // Never resize from inside a worker: destroying the pool would join the
-  // calling thread itself. Nested parallel_for runs inline anyway, so the
-  // stale size is irrelevant to the nested caller.
-  if (pool && (pool_threads == want || ThreadPool::on_worker_thread()))
-    return *pool;
-  pool.reset();  // join the old workers before spawning the new set
-  pool = std::make_unique<ThreadPool>(want);
-  pool_threads = want;
-  return *pool;
+  if (!g_pool) {
+    g_pool = std::make_shared<ThreadPool>(want);
+    g_pool_threads = want;
+    return g_pool;
+  }
+  // Never resize from inside a worker (destroying the pool would join the
+  // calling thread; nested parallel_for runs inline anyway), and never
+  // while dispatches are in flight (use_count > 1 = someone else holds a
+  // handle): serve current size, retry the resize when quiescent.
+  if (g_pool_threads != want && !ThreadPool::on_worker_thread() &&
+      g_pool.use_count() == 1) {
+    g_pool.reset();  // join the old workers before spawning the new set
+    g_pool = std::make_shared<ThreadPool>(want);
+    g_pool_threads = want;
+  }
+  return g_pool;
 }
+
+}  // namespace
+
+ThreadPool& global_pool() { return *acquire_pool(); }
 
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const ThreadPool::RangeFn& fn) {
-  global_pool().for_range(begin, end, grain, fn);
+  // The local handle keeps the pool alive (and the resize path refusing)
+  // for the whole dispatch.
+  const std::shared_ptr<ThreadPool> pool = acquire_pool();
+  pool->for_range(begin, end, grain, fn);
 }
 
 std::vector<ThreadPool::ChunkFault> parallel_for_capture(
     std::size_t begin, std::size_t end, std::size_t grain,
     const ThreadPool::RangeFn& fn) {
-  return global_pool().for_range_capture(begin, end, grain, fn);
+  const std::shared_ptr<ThreadPool> pool = acquire_pool();
+  return pool->for_range_capture(begin, end, grain, fn);
 }
 
 }  // namespace padlock

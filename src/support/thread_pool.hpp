@@ -22,7 +22,11 @@
 //
 // Mutate exec_context() only from the coordinating thread between batch
 // operations (the CLI/bench flag-parsing moment); the global pool is
-// re-sized lazily on the next parallel_for.
+// re-sized lazily on the next parallel_for. The resize is in-flight-safe:
+// each dispatch holds a reference on the pool it runs on, and a resize
+// requested while any dispatch is live is deferred (current size served)
+// until the pool is quiescent — a serve daemon changing threads between
+// requests can never destroy a pool another executor is mid-for_range on.
 //
 // Nesting is safe by construction: a parallel_for issued from inside a pool
 // worker runs inline on that worker (so an outer batch of runs can freely
@@ -140,7 +144,11 @@ class ThreadPool {
 };
 
 /// The lazily-built process pool, re-sized to resolved_threads() whenever
-/// the configured thread count changed since the last call.
+/// the configured thread count changed since the last call — unless a
+/// parallel_for is in flight on it or the caller is a pool worker, in
+/// which case the current pool is served and the resize retried on the
+/// next quiescent call. Prefer parallel_for/parallel_for_capture, which
+/// additionally keep the pool alive for the whole dispatch.
 [[nodiscard]] ThreadPool& global_pool();
 
 /// for_range through the global pool — the one parallel primitive the rest

@@ -101,6 +101,19 @@ TEST(ServeProtocol, ParsesRunRequest) {
   EXPECT_EQ(req.plan.threads, 0);  // the daemon contract: never resize
 }
 
+TEST(ServeProtocol, ParsesSubstrateKnob) {
+  const Request req = parse_request(
+      R"({"op": "sweep", "shards": 4, "substrate": "pinned"})",
+      test_limits());
+  EXPECT_EQ(req.plan.shards, 4);
+  EXPECT_EQ(req.plan.substrate, "pinned");
+  // Unset stays "": the plan keeps the dispatching thread's substrate.
+  const Request plain =
+      parse_request(R"({"op": "run", "problem": "mis", "algo": "luby"})",
+                    test_limits());
+  EXPECT_TRUE(plain.plan.substrate.empty());
+}
+
 TEST(ServeProtocol, KnobOrderDoesNotMatter) {
   // "seed" before "sizes" must still apply to every menu entry.
   const Request req = parse_request(
@@ -137,6 +150,9 @@ TEST(ServeProtocol, RefusesSchemaViolations) {
                BadRequest);  // pair spec must be problem/algo
   EXPECT_THROW(parse_request(R"({"op": "sweep", "engine": "v9"})", limits),
                BadRequest);
+  EXPECT_THROW(
+      parse_request(R"({"op": "sweep", "substrate": "mpi"})", limits),
+      BadRequest);  // unknown substrate name, refused up front
   EXPECT_THROW(parse_request(R"({"op": "ping", "nodes": 1})", limits),
                BadRequest);  // ping takes only op/id
 }
@@ -259,6 +275,52 @@ TEST(ServeServer, PingAndStatsRoundTrip) {
   ASSERT_TRUE(stats.has_value());
   EXPECT_TRUE(has_type(*stats, "stats")) << *stats;
   EXPECT_NE(stats->find("\"connections\": 1"), std::string::npos) << *stats;
+  // The engine/substrate gauges ride every stats line (process-wide
+  // totals; values depend on what ran before, keys are the contract).
+  for (const char* key :
+       {"\"engine_runs\"", "\"engine_shards\"", "\"cross_shard_msgs\"",
+        "\"halo_bytes\"", "\"pinned_teams\"", "\"barrier_ns\"",
+        "\"numa_local_bytes\""}) {
+    EXPECT_NE(stats->find(key), std::string::npos) << key << " in " << *stats;
+  }
+  server.stop();
+}
+
+// A pinned-substrate sweep through the daemon: the plan knob routes the
+// rows through the pinned backend (done line records it), and the engine
+// gauges the stats op surfaces tick.
+TEST(ServeServer, PinnedSubstrateSweepUpdatesEngineGauges) {
+  Server server(base_options());
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.send_line(
+      R"({"op": "sweep", "id": "p", "pairs": ["mis/luby"],)"
+      R"( "families": ["regular"], "sizes": [512], "seed": 5,)"
+      R"( "shards": 4, "substrate": "pinned"})"
+      "\n"));
+  std::string done;
+  for (;;) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value()) << "daemon hung up mid-stream";
+    if (has_type(*line, "done")) {
+      done = *line;
+      break;
+    }
+  }
+  EXPECT_NE(done.find("\"status\": \"ok\""), std::string::npos) << done;
+  EXPECT_NE(done.find("\"substrate\": \"pinned\""), std::string::npos) << done;
+
+  ASSERT_TRUE(client.send_line("{\"op\": \"stats\"}\n"));
+  const auto stats = client.read_line();
+  ASSERT_TRUE(stats.has_value());
+  // The sweep ran sharded engine work: runs ticked, the last-run shard
+  // gauge shows the request's partitioning, and halo traffic crossed.
+  EXPECT_EQ(stats->find("\"engine_runs\": 0,"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"engine_shards\": 4"), std::string::npos) << *stats;
+  EXPECT_EQ(stats->find("\"cross_shard_msgs\": 0,"), std::string::npos)
+      << *stats;
   server.stop();
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "support/thread_pool.hpp"
@@ -106,6 +107,39 @@ TEST_F(ThreadPoolTest, ParallelForHonorsExecContextThreads) {
 TEST_F(ThreadPoolTest, ZeroThreadsResolvesToHardware) {
   exec_context().threads = 0;
   EXPECT_GE(resolved_threads(), 1);
+}
+
+// The lazy-resize hazard: exec_context().threads changing while another
+// thread is mid-parallel_for must NOT rebuild (and destroy) the pool that
+// dispatch is running on. The resize is deferred — global_pool() keeps
+// serving the old size until the dispatch drains — and applied on the next
+// quiescent call. (Before the fix this test destroyed a pool with a live
+// for_range join on it: a use-after-free TSan flags and a possible hang.)
+TEST_F(ThreadPoolTest, ResizeIsRefusedWhileADispatchIsInFlight) {
+  exec_context().threads = 4;
+  ASSERT_EQ(global_pool().size(), 4);
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::thread busy([&] {
+    // Holds the 4-pool busy until released; the chunk spin keeps at least
+    // one worker (and the joining caller) inside the dispatch.
+    parallel_for(0, 4, 1, [&](std::size_t, std::size_t) {
+      entered.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!entered.load()) std::this_thread::yield();
+
+  // A resize request while the dispatch is live: served at the old size.
+  exec_context().threads = 2;
+  EXPECT_EQ(global_pool().size(), 4) << "resize must defer, not destroy";
+
+  release.store(true);
+  busy.join();
+
+  // Quiescent again: the deferred resize applies.
+  EXPECT_EQ(global_pool().size(), 2);
 }
 
 // ---- the fault-capturing variant -------------------------------------------
